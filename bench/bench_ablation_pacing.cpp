@@ -1,0 +1,71 @@
+// Ablation: the one-hour pacing between configuration changes (§3.3).
+//
+// Two failure modes appear when the experiment moves faster:
+//   1. probing before convergence — probes observe a half-converged
+//      network, corrupting round states;
+//   2. route flap damping — ~9% of ASes damp; nine changes minutes apart
+//      accumulate penalties past the suppress threshold, hiding routes.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/world.h"
+#include "core/classifier.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  auto run_with = [&](net::SimTime wait, bool full_convergence) {
+    core::ExperimentConfig config;
+    config.experiment = core::ReExperiment::kInternet2;
+    config.seed = 502;
+    config.convergence_wait = wait;
+    config.full_convergence = full_convergence;
+    config.auto_plant_outages = false;
+    return core::classify_experiment(
+        core::ExperimentController(world.ecosystem, world.selection.seeds,
+                                   config)
+            .run());
+  };
+
+  struct Variant {
+    const char* name;
+    net::SimTime wait;
+    bool full;
+  };
+  const Variant variants[] = {
+      {"paper pacing (1 hour)", net::kHour, true},
+      {"rapid (2 minutes)", 2 * net::kMinute, true},
+      {"no wait (20 seconds, unconverged)", 20, false},
+  };
+
+  const auto baseline = run_with(net::kHour, true);
+  std::unordered_map<net::Prefix, core::Inference> reference;
+  for (const auto& p : baseline) reference[p.prefix] = p.inference;
+
+  std::printf("%-36s %10s %10s %12s %12s\n", "variant", "switch", "osc.",
+              "loss", "vs baseline");
+  for (const Variant& v : variants) {
+    const auto inferences = run_with(v.wait, v.full);
+    std::size_t switches = 0, oscillating = 0, loss = 0, changed = 0;
+    for (const auto& p : inferences) {
+      switches += p.inference == core::Inference::kSwitchToRe ? 1 : 0;
+      oscillating += p.inference == core::Inference::kOscillating ? 1 : 0;
+      loss += p.inference == core::Inference::kExcludedLoss ? 1 : 0;
+      const auto it = reference.find(p.prefix);
+      if (it != reference.end() && it->second != p.inference) ++changed;
+    }
+    std::printf("%-36s %10zu %10zu %12zu %12zu\n", v.name, switches,
+                oscillating, loss, changed);
+  }
+
+  std::printf("\n");
+  bench::print_paper_note("§3.3 pacing");
+  std::printf(
+      "the paper probes one hour after each change, citing Gray et al.\n"
+      "(~9%% of ASes damp, suppress times under an hour) and shows (Fig. 3)\n"
+      "activity settled >= 50 minutes before probing.\n"
+      "shape criteria: the paper pacing row matches the baseline exactly;\n"
+      "faster pacing inflates oscillating/changed counts.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation: the paper's prepend-configuration ordering (§3.3 / Appendix A)
+// vs a naive interleaved ordering.
+//
+// The paper's monotone schedule (shrink R&E prepends, then grow commodity
+// prepends) guarantees an equal-localpref network transitions commodity ->
+// R&E at most once, making "Switch to R&E" an identifiable signature. A
+// shuffled schedule makes the same networks flip back and forth, which the
+// classifier can only call Oscillating.
+#include <cstdio>
+#include <map>
+
+#include "bench/world.h"
+#include "core/classifier.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  const std::vector<core::PrependConfig> naive = {
+      {0, 2}, {3, 0}, {0, 0}, {0, 4}, {1, 0}, {0, 1}, {4, 0}, {0, 3}, {2, 0}};
+
+  auto run_with = [&](const std::vector<core::PrependConfig>& schedule) {
+    core::ExperimentConfig config;
+    config.experiment = core::ReExperiment::kInternet2;
+    config.schedule = schedule;
+    config.seed = 502;
+    config.auto_plant_outages = false;  // isolate the ordering effect
+    return core::classify_experiment(
+        core::ExperimentController(world.ecosystem, world.selection.seeds,
+                                   config)
+            .run());
+  };
+
+  const auto paper = run_with(core::paper_schedule());
+  const auto shuffled = run_with(naive);
+
+  // How are the *planted equal-localpref* ASes classified under each order?
+  auto tally = [&](const std::vector<core::PrefixInference>& inferences) {
+    std::map<core::Inference, std::size_t> counts;
+    for (const core::PrefixInference& p : inferences) {
+      const topo::AsRecord* r = world.ecosystem.directory().find(p.origin);
+      if (r == nullptr || r->traits.stance != bgp::ReStance::kEqualPref ||
+          r->traits.reject_re_routes || !r->traits.has_commodity ||
+          r->traits.uses_route_age) {
+        continue;
+      }
+      ++counts[p.inference];
+    }
+    return counts;
+  };
+  const auto paper_counts = tally(paper);
+  const auto shuffled_counts = tally(shuffled);
+
+  std::printf(
+      "classification of prefixes originated by planted equal-localpref"
+      " ASes:\n\n%-24s %14s %16s\n", "inference", "paper order",
+      "shuffled order");
+  for (const core::Inference inference :
+       {core::Inference::kAlwaysRe, core::Inference::kAlwaysCommodity,
+        core::Inference::kSwitchToRe, core::Inference::kSwitchToCommodity,
+        core::Inference::kMixed, core::Inference::kOscillating,
+        core::Inference::kExcludedLoss}) {
+    const auto count = [&](const std::map<core::Inference, std::size_t>& m) {
+      const auto it = m.find(inference);
+      return it == m.end() ? std::size_t{0} : it->second;
+    };
+    std::printf("%-24s %14zu %16zu\n", to_string(inference).c_str(),
+                count(paper_counts), count(shuffled_counts));
+  }
+
+  const auto get = [](const std::map<core::Inference, std::size_t>& m,
+                      core::Inference i) {
+    const auto it = m.find(i);
+    return it == m.end() ? std::size_t{0} : it->second;
+  };
+  const std::size_t paper_switch = get(paper_counts, core::Inference::kSwitchToRe);
+  const std::size_t shuffled_switch =
+      get(shuffled_counts, core::Inference::kSwitchToRe);
+  const std::size_t shuffled_oscillating =
+      get(shuffled_counts, core::Inference::kOscillating);
+  std::printf(
+      "\nidentifiable equal-localpref signature: %zu prefixes under the paper"
+      " order vs %zu under the shuffled order (%zu degrade to Oscillating)\n\n",
+      paper_switch, shuffled_switch, shuffled_oscillating);
+
+  bench::print_paper_note("§3.3 design choice");
+  std::printf(
+      "the paper chose the 4-0..0-0..0-4 ordering 'to minimize the\n"
+      "variables that could affect routing decisions between tests'.\n"
+      "shape criteria: under the paper order nearly all equal-localpref\n"
+      "prefixes show the single commodity->R&E switch; under a shuffled\n"
+      "order most of that signal collapses into Oscillating.\n");
+  return 0;
+}

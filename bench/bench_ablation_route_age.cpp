@@ -1,0 +1,109 @@
+// Ablation: decision-process fidelity — the route-age tie-break.
+//
+// Appendix A/B hinge on a small population of networks that ignore AS
+// path length and select the oldest route (case J): they are the ASes
+// switching exactly at configuration 0-1 in both experiments. If the
+// simulator's decision process drops the route-age step (forcing the
+// deterministic router-id comparison everywhere), that signature must
+// disappear — demonstrating that the 0-1 switchers are genuinely produced
+// by route-age semantics and not an artifact of the schedule.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/world.h"
+#include "core/comparator.h"
+#include "core/switch_cdf.h"
+
+namespace {
+
+// Runs both experiments and returns the count of ASes first switching at
+// 0-1 in both, plus how many of those are planted case-J networks.
+struct ZeroOneSwitchers {
+  std::size_t ases = 0;
+  std::size_t planted_route_age = 0;
+};
+
+ZeroOneSwitchers count_zero_one_switchers(const re::bench::World& world,
+                                          bool disable_route_age) {
+  using namespace re;
+  // The fidelity knob is per-AS decision configuration; when disabling,
+  // strip the plant from a copied ecosystem so the rebuilt networks use
+  // router-id tie-breaks everywhere.
+  topo::Ecosystem ecosystem = world.ecosystem;
+  if (disable_route_age) {
+    for (const net::Asn member : ecosystem.members()) {
+      topo::AsRecord* record = ecosystem.directory().find(member);
+      record->traits.uses_route_age = false;
+      record->traits.ignores_as_path_length = false;
+    }
+  }
+  const topo::Ecosystem& eco = disable_route_age ? ecosystem : world.ecosystem;
+
+  auto run_on = [&](core::ReExperiment which) {
+    core::ExperimentConfig config;
+    config.experiment = which;
+    config.seed = which == core::ReExperiment::kSurf ? 501 : 502;
+    config.auto_plant_outages = false;
+    return core::ExperimentController(eco, world.selection.seeds, config).run();
+  };
+  const auto surf = core::classify_experiment(run_on(core::ReExperiment::kSurf));
+  const auto i2 =
+      core::classify_experiment(run_on(core::ReExperiment::kInternet2));
+
+  const auto schedule = core::paper_schedule();
+  int first_comm_step = -1;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].re == 0 && schedule[i].comm > 0) {
+      first_comm_step = static_cast<int>(i);
+      break;
+    }
+  }
+
+  std::unordered_map<net::Asn, std::pair<int, int>> first_switch;
+  for (const auto& [a, b] : core::switching_in_both(surf, i2)) {
+    auto& entry =
+        first_switch.try_emplace(a->origin, std::pair<int, int>{99, 99})
+            .first->second;
+    if (a->first_re_round) entry.first = std::min(entry.first, *a->first_re_round);
+    if (b->first_re_round) entry.second = std::min(entry.second, *b->first_re_round);
+  }
+  ZeroOneSwitchers out;
+  for (const auto& [as, rounds] : first_switch) {
+    if (rounds.first != first_comm_step || rounds.second != first_comm_step) {
+      continue;
+    }
+    ++out.ases;
+    const topo::AsRecord* record = world.ecosystem.directory().find(as);
+    if (record != nullptr && record->traits.uses_route_age) {
+      ++out.planted_route_age;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  const ZeroOneSwitchers with_age = count_zero_one_switchers(world, false);
+  const ZeroOneSwitchers without_age = count_zero_one_switchers(world, true);
+
+  std::printf(
+      "ASes first switching at 0-1 in BOTH experiments:\n"
+      "  route-age semantics enabled : %zu (%zu planted case-J networks)\n"
+      "  route-age semantics removed : %zu (%zu planted case-J networks)\n\n",
+      with_age.ases, with_age.planted_route_age, without_age.ases,
+      without_age.planted_route_age);
+
+  bench::print_paper_note("Appendix A/B design fidelity");
+  std::printf(
+      "the paper infers that 8 prefixes by 4 ASes broke ties on route age\n"
+      "because they switched at 0-1 in both experiments — the only\n"
+      "configuration where route-age semantics produce a switch.\n"
+      "shape criteria: with route-age decision semantics the 0-1 cohort\n"
+      "exists and consists of the planted case-J ASes; with the tie-break\n"
+      "removed the cohort (largely) vanishes.\n");
+  return 0;
+}

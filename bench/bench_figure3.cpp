@@ -1,0 +1,41 @@
+// Figure 3 reproduction: measurement-prefix BGP update activity around the
+// nine probing windows of the Internet2 experiment.
+#include <cstdio>
+
+#include "bench/world.h"
+#include "core/timeline.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  const core::ExperimentResult result =
+      bench::run_experiment(world, core::ReExperiment::kInternet2);
+  const core::Figure3 fig = core::build_figure3(result);
+  std::printf("Figure 3 — update churn timeline (Internet2)\n\n%s\n",
+              core::render_figure3(fig).c_str());
+
+  // The paper's headline claim: activity settles >= 50 minutes before each
+  // probing window.
+  net::SimTime min_quiet = -1;
+  for (const core::TimelineWindow& w : fig.windows) {
+    if (min_quiet < 0 || w.quiet_before_probe < min_quiet) {
+      min_quiet = w.quiet_before_probe;
+    }
+  }
+  std::printf("minimum quiet period before any probing window: %s\n\n",
+              net::SimClock::format(min_quiet).c_str());
+
+  bench::print_paper_note("Figure 3");
+  std::printf(
+      "paper: 162 updates across >4h while varying R&E prepends vs 9,162\n"
+      "across 4h while varying commodity prepends (~57x); activity settled\n"
+      ">= 50 minutes before every active measurement window.\n"
+      "shape criteria: commodity-phase churn dwarfs R&E-phase churn (few\n"
+      "public peers see the R&E-fabric-scoped route); every probing window\n"
+      "opens on a settled view. Absolute counts are smaller here because\n"
+      "the simulated collector has ~%zu peers, not RouteViews+RIS's\n"
+      "hundreds.\n",
+      world.ecosystem.collector_peers().size());
+  return 0;
+}

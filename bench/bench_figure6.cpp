@@ -1,0 +1,93 @@
+// Figure 6 / §5 reproduction: the generalized peer-vs-provider preference
+// survey at an IXP, including the direct-peering confound and the
+// second-tier-1 fallback the paper proposes.
+#include <cstdio>
+#include <map>
+
+#include "bench/world.h"
+#include "core/relative_preference.h"
+#include "topology/ixp.h"
+
+int main() {
+  using namespace re;
+
+  topo::IxpScenarioParams params;
+  params.member_count = 200;
+  params.use_second_transit = true;
+  const topo::IxpScenario scenario = topo::IxpScenario::generate(params);
+  bgp::BgpNetwork network(params.seed);
+  scenario.build_network(network);
+
+  core::RouteClassEndpoint peer_side{"ixp-peer", params.host, 17, false};
+  core::RouteClassEndpoint provider_side{"provider", net::Asn{65001}, 18,
+                                         false};
+  core::RelativePreferenceExperiment experiment(network, peer_side,
+                                                provider_side);
+  const auto results = experiment.run(scenario.member_asns());
+
+  // Cross-tab planted stance x inferred preference, split by confound.
+  std::map<std::pair<std::string, std::string>, std::size_t> cross;
+  std::size_t clean_total = 0, clean_correct = 0;
+  std::size_t confounded_total = 0, confounded_correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const topo::IxpMemberSpec& member = scenario.members[i];
+    const std::string planted = member.equal_localpref ? "equal-localpref"
+                                : member.prefers_provider ? "prefers-provider"
+                                                          : "prefers-peers";
+    ++cross[{planted, to_string(results[i].preference)}];
+    const auto expected =
+        member.equal_localpref ? core::RelativePreference::kLengthSensitive
+        : member.prefers_provider ? core::RelativePreference::kAlwaysSecond
+                                  : core::RelativePreference::kAlwaysFirst;
+    if (member.peers_with_host_transit) {
+      ++confounded_total;
+      confounded_correct += results[i].preference == expected ? 1 : 0;
+    } else {
+      ++clean_total;
+      clean_correct += results[i].preference == expected ? 1 : 0;
+    }
+  }
+  std::printf("planted stance x inferred preference (%d members):\n\n",
+              params.member_count);
+  for (const auto& [key, count] : cross) {
+    std::printf("  %-18s -> %-18s %zu\n", key.first.c_str(),
+                key.second.c_str(), count);
+  }
+  std::printf(
+      "\naccuracy: %zu/%zu without the confound, %zu/%zu with a direct\n"
+      "tier-1 peering (Beta-type members)\n\n",
+      clean_correct, clean_total, confounded_correct, confounded_total);
+
+  // The §5 fallback: a second tier-1 the confounded member does not peer
+  // with.
+  core::RouteClassEndpoint second_provider{"provider-2", net::Asn{65002}, 19,
+                                           false};
+  core::RelativePreferenceConfig second_config;
+  second_config.prefix = *net::Prefix::parse("198.51.100.0/24");
+  core::RelativePreferenceExperiment fallback(network, peer_side,
+                                              second_provider, second_config);
+  const auto fallback_results = fallback.run(scenario.member_asns());
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < fallback_results.size(); ++i) {
+    const topo::IxpMemberSpec& member = scenario.members[i];
+    if (!member.peers_with_host_transit) continue;
+    const auto expected =
+        member.equal_localpref ? core::RelativePreference::kLengthSensitive
+        : member.prefers_provider ? core::RelativePreference::kAlwaysSecond
+                                  : core::RelativePreference::kAlwaysFirst;
+    resolved += fallback_results[i].preference == expected ? 1 : 0;
+  }
+  std::printf("second-tier-1 fallback resolves %zu of %zu confounded members\n\n",
+              resolved, confounded_total);
+
+  bench::print_paper_note("Figure 6 / §5");
+  std::printf(
+      "the paper proposes this setup without running it; the reproduction\n"
+      "demonstrates the method, the confound ('so long as the tested ASes\n"
+      "do not also peer with the measurement host's transit provider'),\n"
+      "and the proposed second-tier-1 fallback.\n"
+      "shape criteria: near-perfect stance recovery for unconfounded\n"
+      "members; confounded members misclassify; the fallback recovers most\n"
+      "of them.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7 reproduction: state diagrams of route selection under the
+// paper's prepend schedule, for relative AS-path-length cases A..I and the
+// route-age case J — from the analytic model, cross-checked against
+// micro-simulations on a real BgpNetwork.
+#include <cstdio>
+#include <string>
+
+#include "bench/world.h"
+#include "core/state_model.h"
+
+int main() {
+  using namespace re;
+  const auto schedule = core::paper_schedule();
+
+  std::printf("Figure 7 — analytic state diagram (R = R&E, C = commodity)\n\n");
+  std::printf("%s\n", core::render_figure7(schedule).c_str());
+
+  // Cross-check: micro-simulations with provider chains realizing the same
+  // relative path lengths must agree with the analytic model up to the
+  // arbitrary router-id tie-break.
+  std::printf("micro-simulation cross-check:\n");
+  int agree = 0, total = 0;
+  for (int re_chain = 0; re_chain <= 4; ++re_chain) {
+    for (int comm_chain = 0; comm_chain <= 4; ++comm_chain) {
+      const auto simulated = core::simulate_selection(
+          re_chain, comm_chain, /*use_path_length=*/true,
+          /*use_route_age=*/false, schedule);
+      core::StateModelConfig config;
+      config.re_advantage = comm_chain - re_chain;
+      config.tie_break = core::TieBreak::kArbitraryRe;
+      const auto predicted_re = core::predict_selection(config, schedule);
+      config.tie_break = core::TieBreak::kArbitraryCommodity;
+      const auto predicted_comm = core::predict_selection(config, schedule);
+      const bool ok = simulated == predicted_re || simulated == predicted_comm;
+      agree += ok ? 1 : 0;
+      ++total;
+      std::string row;
+      for (const auto s : simulated) {
+        row += s == core::SelectedRoute::kRe ? 'R' : 'C';
+      }
+      std::printf("  re-chain %d comm-chain %d: %s %s\n", re_chain, comm_chain,
+                  row.c_str(), ok ? "(matches model)" : "(MISMATCH)");
+    }
+  }
+  std::printf("\n%d / %d chain configurations match the analytic model\n\n",
+              agree, total);
+
+  // Case J in simulation: a network ignoring path length, breaking ties on
+  // route age, switches exactly at the first commodity prepend (0-1).
+  const auto case_j = core::simulate_selection(2, 2, false, true, schedule);
+  std::string row;
+  for (const auto s : case_j) row += s == core::SelectedRoute::kRe ? 'R' : 'C';
+  std::printf("case J (simulated, route-age tie-break): %s\n\n", row.c_str());
+
+  bench::print_paper_note("Figure 7 / Appendix A");
+  std::printf(
+      "paper: during the R&E-prepend phase the commodity route is older, so\n"
+      "equal-length ties resolve to commodity; during the commodity-prepend\n"
+      "phase the R&E route is older and wins ties. Networks ignoring path\n"
+      "length and selecting the oldest route switch at configuration 0-1.\n"
+      "shape criteria: every length-sensitive case switches commodity->R&E\n"
+      "at most once; switch round is monotone in the R&E handicap; case J\n"
+      "switches exactly at 0-1.\n");
+  return agree == total ? 0 : 1;
+}

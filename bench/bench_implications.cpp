@@ -1,0 +1,100 @@
+// The "Implication" of the paper's title, quantified: what share of R&E
+// traffic would return to the R&E fabric under candidate policy fixes?
+//
+// §1/§5: "some data-intensive R&E users may not benefit from the global
+// R&E infrastructure due to local routing policies ... the value of the
+// R&E infrastructure is unevenly realized." The knobs the paper's
+// findings point at:
+//   (a) equal-localpref members pinning R&E above commodity (fixing the
+//       Switch-to-R&E population);
+//   (b) every commodity-preferring member flipping its stance;
+//   (c) origin-side commodity prepending (§4.2's "natural behavior"),
+//       which only helps against equal-localpref *remote* networks.
+#include <cstdio>
+
+#include "bench/world.h"
+#include "core/classifier.h"
+
+namespace {
+
+re::core::Table1 run_variant(const re::topo::Ecosystem& ecosystem,
+                             const re::bench::World& world) {
+  re::core::ExperimentConfig config;
+  config.experiment = re::core::ReExperiment::kInternet2;
+  config.seed = 502;
+  config.auto_plant_outages = false;
+  config.p_week_variation = 0.0;
+  return re::core::summarize_table1(re::core::classify_experiment(
+      re::core::ExperimentController(ecosystem, world.selection.seeds, config)
+          .run()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  struct Variant {
+    const char* name;
+    topo::Ecosystem ecosystem;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"as measured", world.ecosystem});
+
+  // (a) equal-localpref members pin R&E above commodity.
+  {
+    topo::Ecosystem fixed = world.ecosystem;
+    for (const net::Asn member : fixed.members()) {
+      topo::AsRecord* r = fixed.directory().find(member);
+      if (r->traits.stance == bgp::ReStance::kEqualPref &&
+          !r->traits.uses_route_age) {
+        r->traits.stance = bgp::ReStance::kPreferRe;
+      }
+    }
+    variants.push_back({"equal-localpref members pin R&E", std::move(fixed)});
+  }
+
+  // (b) additionally, commodity-preferring members flip their stance
+  //     (import filters kept: a network rejecting R&E routes can't be
+  //     fixed by localpref alone).
+  {
+    topo::Ecosystem fixed = world.ecosystem;
+    for (const net::Asn member : fixed.members()) {
+      topo::AsRecord* r = fixed.directory().find(member);
+      if (!r->traits.reject_re_routes) {
+        r->traits.stance = bgp::ReStance::kPreferRe;
+        r->traits.uses_route_age = false;
+        r->traits.ignores_as_path_length = false;
+      }
+    }
+    variants.push_back({"all importing members prefer R&E", std::move(fixed)});
+  }
+
+  std::printf("%-36s %10s %10s %10s %8s\n", "policy variant", "always-re",
+              "comm", "switch", "mixed");
+  double baseline_re = 0;
+  for (const Variant& variant : variants) {
+    const core::Table1 table = run_variant(variant.ecosystem, world);
+    if (baseline_re == 0) {
+      baseline_re = table.prefix_share(core::Inference::kAlwaysRe);
+    }
+    std::printf("%-36s %9.1f%% %9.1f%% %9.1f%% %7.1f%%\n", variant.name,
+                100 * table.prefix_share(core::Inference::kAlwaysRe),
+                100 * table.prefix_share(core::Inference::kAlwaysCommodity),
+                100 * table.prefix_share(core::Inference::kSwitchToRe),
+                100 * table.prefix_share(core::Inference::kMixed));
+  }
+
+  std::printf("\n");
+  bench::print_paper_note("§1/§5 implications");
+  std::printf(
+      "the paper's concern: policy-driven detours push scientific flows\n"
+      "onto commodity networks. The counterfactuals quantify the headroom:\n"
+      "pinning localpref at the equal-preference minority recovers the\n"
+      "Switch-to-R&E share into Always-R&E; flipping deliberate commodity\n"
+      "preferences recovers most of the rest, leaving only networks whose\n"
+      "import policy (not preference) excludes R&E routes — those need\n"
+      "connectivity fixes, not localpref fixes.\n");
+  return 0;
+}

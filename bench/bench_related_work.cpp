@@ -1,0 +1,126 @@
+// §2.2 background reproduction: the routing-policy-inference substrate the
+// paper builds on.
+//
+//  (a) Gao-Rexford conformance of localpref assignments (Wang & Gao 2003;
+//      Kastanakis et al. 2023), read off the simulated looking glasses.
+//  (b) AS relationship inference from public paths, validated against the
+//      planted ground truth (Gao 2001 / CAIDA-style).
+#include <cstdio>
+
+#include "bench/world.h"
+#include "core/gao_rexford.h"
+#include "topology/relationship_inference.h"
+
+int main() {
+  using namespace re;
+
+  topo::EcosystemParams params;
+  const double scale = bench::bench_scale();
+  params = params.scaled(scale < 1.0 ? scale : 0.25);  // sweep-heavy: cap
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  bgp::BgpNetwork network(17);
+  eco.build_network(network);
+
+  // ---------------------------------------------- (a) localpref hierarchy
+  const core::GaoRexfordSummary summary = core::analyze_gao_rexford(network);
+  std::printf("(a) Gao-Rexford conformance of localpref assignments\n\n");
+  for (const auto& [cls, count] : summary.counts) {
+    std::printf("  %-16s %zu\n", to_string(cls).c_str(), count);
+  }
+  std::printf("  conformance over rankable ASes: %.1f%% (%zu ranked)\n\n",
+              summary.conformance_rate() * 100.0, summary.ranked());
+
+  // The paper's own dimension, read from the configs directly: how do
+  // members rank their R&E providers vs commodity providers? (This is the
+  // configured truth §4's probing recovers remotely.)
+  const core::ReStanceSummary stance =
+      core::analyze_re_stance(network, eco.members());
+  std::printf(
+      "    provider-class localpref, members with both kinds (N=%zu):\n"
+      "      R&E higher %zu (%.1f%%), equal %zu (%.1f%%), commodity higher"
+      " %zu (%.1f%%)\n"
+      "    R&E-only members %zu, commodity-only (incl. reject-R&E) %zu\n\n",
+      stance.dual_homed, stance.re_higher,
+      100.0 * stance.re_higher / std::max<std::size_t>(1, stance.dual_homed),
+      stance.equal,
+      100.0 * stance.equal / std::max<std::size_t>(1, stance.dual_homed),
+      stance.commodity_higher,
+      100.0 * stance.commodity_higher /
+          std::max<std::size_t>(1, stance.dual_homed),
+      stance.re_only, stance.commodity_only);
+
+  // ------------------------------------- (b) relationship inference
+  std::printf("(b) AS relationship inference from collector paths\n\n");
+  std::vector<bgp::AsPath> observed;
+  int announced = 0;
+  for (const net::Asn origin : eco.members()) {
+    const auto prefixes = eco.prefixes_of(origin);
+    if (prefixes.empty()) continue;
+    bgp::OriginationOptions options;
+    options.to_commodity_sessions =
+        eco.directory().find(origin)->traits.announce_to_commodity;
+    network.announce(origin, prefixes[0]->prefix, options);
+    network.run_to_convergence();
+    for (const net::Asn peer : eco.collector_peers()) {
+      if (const bgp::Route* best =
+              network.speaker(peer)->best(prefixes[0]->prefix)) {
+        observed.push_back(best->path.prepended(peer, 1));
+      }
+    }
+    network.clear_prefix(prefixes[0]->prefix);
+    network.update_log().clear();
+    ++announced;
+  }
+  std::printf("  %zu vantage paths from %d origins\n", observed.size(),
+              announced);
+
+  const auto inference = topo::RelationshipInference::infer(observed);
+  std::map<topo::AsEdge, topo::InferredRelationship> truth;
+  for (const net::Asn asn : eco.directory().all()) {
+    const topo::AsRecord* r = eco.directory().find(asn);
+    auto add_provider = [&](net::Asn provider) {
+      truth[topo::AsEdge::of(asn, provider)] =
+          asn < provider ? topo::InferredRelationship::kCustomerToProvider
+                         : topo::InferredRelationship::kProviderToCustomer;
+    };
+    for (const net::Asn p : r->re_providers) add_provider(p);
+    for (const net::Asn p : r->commodity_providers) add_provider(p);
+    for (const net::Asn peer : r->re_peers) {
+      truth[topo::AsEdge::of(asn, peer)] =
+          topo::InferredRelationship::kPeerToPeer;
+    }
+  }
+  for (std::size_t i = 0; i < eco.tier1s().size(); ++i) {
+    for (std::size_t j = i + 1; j < eco.tier1s().size(); ++j) {
+      truth[topo::AsEdge::of(eco.tier1s()[i], eco.tier1s()[j])] =
+          topo::InferredRelationship::kPeerToPeer;
+    }
+  }
+  const auto report = topo::validate_inference(inference, truth);
+  std::printf(
+      "  %zu edges inferred, %zu validated: %.1f%% correct\n"
+      "  (transit-as-peer %zu, peer-as-transit %zu, inverted %zu)\n\n",
+      inference.edge_count(), report.edges_checked,
+      report.accuracy() * 100.0, report.transit_as_peer,
+      report.peer_as_transit, report.inverted);
+
+  // Customer cones for the backbones (the Anwar et al. modelling input).
+  for (const net::Asn asn : {eco.internet2(), eco.geant(), eco.lumen()}) {
+    const auto cone = inference.customer_cone(asn);
+    std::printf("  customer cone of %-8s: %zu ASes\n",
+                asn.to_string().c_str(), cone.size());
+  }
+  std::printf("\n");
+
+  bench::print_paper_note("§2.2 background");
+  std::printf(
+      "Wang & Gao 2003: nearly all of 15 looking-glass ASes followed\n"
+      "Gao-Rexford (>99%% of assignments); Kastanakis 2023: 83%% of routes\n"
+      "conform, some ASes tie peer/provider or peer/customer localpref.\n"
+      "CAIDA's relationship inference validates >90%% against ground truth.\n"
+      "shape criteria: conformance is high but not total, with\n"
+      "peer==provider ties as the main deviation (our planted\n"
+      "equal-localpref minority); relationship inference lands >85%%.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §3.2 reproduction: the probe-seed pipeline statistics.
+#include <cstdio>
+
+#include "bench/world.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+  const probing::SelectionStats& s = world.selection.stats;
+
+  auto pct = [](std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) / den;
+  };
+  std::printf("§3.2 — probe seed pipeline\n\n");
+  std::printf("prefix universe (non-covered):        %zu\n", s.total_prefixes);
+  std::printf("excluded as covered by another:       %zu\n", s.covered_excluded);
+  std::printf("with ISI history seeds:               %zu (%.1f%%)\n",
+              s.isi_seeded, pct(s.isi_seeded, s.total_prefixes));
+  std::printf("with any seeds (ISI or Censys):       %zu (%.1f%%)\n",
+              s.any_seeded, pct(s.any_seeded, s.total_prefixes));
+  std::printf("responsive at probe time:             %zu (%.1f%%)\n",
+              s.responsive, pct(s.responsive, s.total_prefixes));
+  std::printf("with three destinations:              %zu (%.1f%% of responsive)\n",
+              s.with_three_targets, pct(s.with_three_targets, s.responsive));
+  std::printf("seed origin: ISI-only %zu (%.1f%%), Censys-only %zu (%.1f%%),"
+              " mixed %zu (%.1f%%)\n",
+              s.isi_only, pct(s.isi_only, s.responsive), s.censys_only,
+              pct(s.censys_only, s.responsive), s.mixed,
+              pct(s.mixed, s.responsive));
+  std::printf("ASes: total %zu, seeded %zu (%.1f%%), responsive %zu (%.1f%%)\n\n",
+              s.ases_total, s.ases_seeded, pct(s.ases_seeded, s.ases_total),
+              s.ases_responsive, pct(s.ases_responsive, s.ases_total));
+
+  bench::print_paper_note("§3.2");
+  std::printf(
+      "paper: 17,989 prefixes after excluding 437 covered + the measurement\n"
+      "prefix; ISI seeds for 11,731 (65.2%%) covering 95.8%% of ASes; with\n"
+      "Censys 13,189 (73.3%%) covering 98.8%%; responsive addresses in\n"
+      "12,241 (68.0%%) / 2,594 ASes (97.8%%); three destinations in 10,123\n"
+      "(82.7%%) of responsive; ICMP/ISI seeds for 77.8%%, Censys 24.4%%,\n"
+      "mixed 2.1%%.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 1 reproduction: prefix/AS counts per route-preference inference,
+// for the SURF (May 2025) and Internet2 (June 2025) experiments.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench/world.h"
+#include "core/classifier.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  for (const core::ReExperiment which :
+       {core::ReExperiment::kSurf, core::ReExperiment::kInternet2}) {
+    const core::ExperimentResult result = bench::run_experiment(world, which);
+    const core::Table1 table =
+        core::summarize_table1(core::classify_experiment(result));
+    std::printf("%s\n",
+                analysis::render_table1(
+                    table, "Table 1 — " + core::to_string(which))
+                    .c_str());
+  }
+
+  bench::print_paper_note("Table 1");
+  std::printf(
+      "SURF (May 2025):      Always R&E 9,852 (81.8%%) | Always commodity 843"
+      " (7.0%%) | Switch to R&E 963 (8.0%%) | Switch to comm. 1 | Mixed 382"
+      " (3.1%%) | Oscillating 6 | total 12,047 prefixes / 2,574 ASes\n"
+      "Internet2 (June 2025): Always R&E 9,758 (80.8%%) | Always commodity 840"
+      " (7.0%%) | Switch to R&E 1,103 (9.1%%) | Switch to comm. 3 | Mixed 371"
+      " (3.1%%) | Oscillating 2 | total 12,077 prefixes / 2,578 ASes\n"
+      "shape criteria: Always R&E dominates (~4/5), commodity ~7%%, the\n"
+      "equal-localpref switch signature is the second-order signal (~8-9%%),\n"
+      "mixed ~3%%, degenerate categories near zero.\n");
+  return 0;
+}

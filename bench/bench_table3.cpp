@@ -1,0 +1,40 @@
+// Table 3 reproduction: congruence of policy inferences with the public
+// BGP views of tested ASes, plus the §4.1.2-style ground-truth check.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench/world.h"
+#include "core/validator.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  const core::ExperimentResult result =
+      bench::run_experiment(world, core::ReExperiment::kInternet2);
+  const auto inferences = core::classify_experiment(result);
+
+  const core::Table3 table =
+      core::validate_against_views(inferences, result, world.ecosystem);
+  std::printf("Table 3 — congruence with public BGP views (Internet2)\n\n%s\n",
+              analysis::render_table3(table).c_str());
+
+  // §4.1.2-style operator validation: the planted policy is the operator.
+  const core::GroundTruthReport sampled =
+      core::validate_against_plant(inferences, world.ecosystem, 33);
+  const core::GroundTruthReport full =
+      core::validate_against_plant(inferences, world.ecosystem);
+  std::printf("33-AS sample (the paper's validation size):\n%s\n",
+              analysis::render_ground_truth(sampled).c_str());
+  std::printf("all ASes:\n%s\n", analysis::render_ground_truth(full).c_str());
+
+  bench::print_paper_note("Table 3 / §4.1.2");
+  std::printf(
+      "paper: 22 of 25 view ASes congruent; all three incongruent ASes\n"
+      "exported a commodity VRF to the collector while actually preferring\n"
+      "R&E (so the inference was right). Operator ground truth: >= 32 of 33\n"
+      "inferences correct.\n"
+      "shape criteria: congruent >> incongruent; every incongruence is a\n"
+      "VRF-split exporter; ground-truth accuracy ~97%%+.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 4 reproduction: does origin-AS prepending observed in public RIBs
+// align with the inferred route preference?
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "bench/world.h"
+#include "core/prepend_analysis.h"
+#include "core/rib_survey.h"
+
+int main() {
+  using namespace re;
+  const bench::World world = bench::make_world();
+
+  const auto inferences = core::classify_experiment(
+      bench::run_experiment(world, core::ReExperiment::kInternet2));
+  std::printf("[survey] propagating one representative prefix per origin "
+              "(tens of seconds at full scale)...\n");
+  const core::RibSurveyResult survey = core::run_rib_survey(world.ecosystem);
+
+  const core::Table4 table = core::build_table4(inferences, survey);
+  std::printf("\nTable 4 — inference vs origin prepending (Internet2)\n\n%s\n",
+              analysis::render_table4(table).c_str());
+
+  bench::print_paper_note("Table 4");
+  std::printf(
+      "              R=C           R<C           R>C      no commodity\n"
+      "Always R&E    3,005 73.8%%   2,628 83.2%%   204 50.7%%   3,921 88.3%%\n"
+      "Always comm.    319  7.8%%     192  6.1%%   149 37.1%%     180  4.1%%\n"
+      "Switch to R&E   610 15.0%%     248  7.9%%    28  7.0%%     217  4.9%%\n"
+      "Mixed           138  3.4%%      90  2.8%%    21  5.2%%     122  2.7%%\n"
+      "Total         4,072         3,158         402         4,440\n"
+      "shape criteria: R<C (prepend-toward-commodity) is the most\n"
+      "R&E-preferring column; R>C has by far the largest Always-commodity\n"
+      "share yet still ~half Always-R&E (prepending is a weak predictor);\n"
+      "the no-commodity column is the most R&E-preferring of all but not\n"
+      "100%% (hidden commodity exists).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared world construction for the reproduction benches.
+//
+// Each bench binary reproduces one table or figure at paper scale. Set
+// RE_SCALE (e.g. RE_SCALE=0.1) to shrink the world for a quick pass.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/experiment.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace re::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("RE_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0 && scale <= 1.0) return scale;
+  }
+  return 1.0;
+}
+
+struct World {
+  topo::Ecosystem ecosystem;
+  probing::SelectionResult selection;
+};
+
+inline World make_world() {
+  topo::EcosystemParams params;
+  const double scale = bench_scale();
+  if (scale < 1.0) params = params.scaled(scale);
+  params.seed = 20250529;
+  World world{topo::Ecosystem::generate(params), {}};
+  const probing::SeedDatabase db =
+      probing::SeedDatabase::generate(world.ecosystem, probing::SeedGenParams{});
+  world.selection = probing::select_probe_seeds(world.ecosystem, db, 11);
+  std::printf("[world] scale=%.2f ases=%zu prefixes=%zu responsive=%zu\n\n",
+              scale, world.ecosystem.directory().size(),
+              world.ecosystem.prefixes().size(), world.selection.seeds.size());
+  return world;
+}
+
+inline core::ExperimentResult run_experiment(const World& world,
+                                             core::ReExperiment which) {
+  core::ExperimentConfig config;
+  config.experiment = which;
+  config.seed = which == core::ReExperiment::kSurf ? 501 : 502;
+  return core::ExperimentController(world.ecosystem, world.selection.seeds,
+                                    config)
+      .run();
+}
+
+inline void print_paper_note(const char* what) {
+  std::printf(
+      "--- paper reference (%s) -------------------------------------\n",
+      what);
+}
+
+}  // namespace re::bench

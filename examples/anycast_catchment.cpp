@@ -1,0 +1,89 @@
+// Anycast catchment mapping (§2.3 lineage: de Vries et al.'s Verfploeter,
+// whose "every responsive address is a passive vantage point" idea the
+// paper reuses).
+//
+// Announce the same prefix from two anycast sites (one under Lumen, one
+// under Deutsche Telekom), then resolve every member's return path: the
+// terminal site is that member's catchment. BGP's decision process — not
+// geography — draws the boundary, which is the operational surprise
+// Verfploeter-style studies quantify.
+#include <cstdio>
+#include <map>
+
+#include "dataplane/return_path.h"
+#include "probing/tracer.h"
+#include "topology/ecosystem.h"
+
+int main() {
+  using namespace re;
+
+  topo::EcosystemParams params;
+  params = params.scaled(0.2);
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  bgp::BgpNetwork network(41);
+  eco.build_network(network);
+
+  // Two anycast sites announcing one prefix.
+  const net::Prefix anycast = *net::Prefix::parse("198.18.0.0/24");
+  const net::Asn site_a{64900};  // customer of Lumen
+  const net::Asn site_b{64901};  // customer of Deutsche Telekom
+  network.connect_transit(eco.lumen(), site_a);
+  network.connect_transit(eco.deutsche_telekom(), site_b);
+  network.announce(site_a, anycast);
+  network.announce(site_b, anycast);
+  network.run_to_convergence();
+
+  dataplane::ReturnPathResolver resolver(network, anycast, {site_a, site_b});
+
+  std::size_t to_a = 0, to_b = 0, unreachable = 0;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_country;
+  for (const net::Asn member : eco.members()) {
+    const dataplane::ReturnPath path = resolver.resolve(member);
+    if (!path.reachable) {
+      ++unreachable;
+      continue;
+    }
+    const topo::AsRecord* r = eco.directory().find(member);
+    auto& cell = by_country[r->country];
+    if (path.terminal == site_a) {
+      ++to_a;
+      ++cell.first;
+    } else {
+      ++to_b;
+      ++cell.second;
+    }
+  }
+
+  std::printf("anycast catchments over %zu member ASes:\n", eco.members().size());
+  std::printf("  site A (via Lumen):            %zu\n", to_a);
+  std::printf("  site B (via Deutsche Telekom): %zu\n", to_b);
+  std::printf("  unreachable:                   %zu\n\n", unreachable);
+
+  std::printf("catchment split by member country (site-A : site-B):\n");
+  std::size_t shown = 0;
+  for (const auto& [country, cell] : by_country) {
+    if (cell.first + cell.second < 8) continue;
+    std::printf("  %-3s %4zu : %-4zu (%.0f%% to A)\n", country.c_str(),
+                cell.first, cell.second,
+                100.0 * cell.first / (cell.first + cell.second));
+    if (++shown >= 14) break;
+  }
+  // AS-level traceroutes into each catchment (scamper's other probe mode).
+  std::printf("\nsample AS-level traces:\n");
+  probing::Tracer tracer(network, anycast, {site_a, site_b});
+  int shown_traces = 0;
+  for (const net::Asn member : eco.members()) {
+    const probing::TraceResult trace = tracer.trace(member);
+    if (!trace.reached) continue;
+    std::printf("  %s\n", trace.to_string().c_str());
+    if (++shown_traces >= 5) break;
+  }
+
+  std::printf(
+      "\nCatchments follow BGP tie-breaks, not geography: German members\n"
+      "flow to the DT-hosted site (their NREN shares that provider), while\n"
+      "most US members' transit sits closer to Lumen. The same passive-VP\n"
+      "resolution drives the R&E study's VLAN classification.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// custom_topology: run the preference-inference machinery on a topology
+// described in the text configuration format (io/topology_config.h) —
+// either from a file or the built-in demo below.
+//
+// usage: custom_topology [config-file]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/relative_preference.h"
+#include "io/topology_config.h"
+
+namespace {
+
+// A miniature R&E-vs-commodity world: one backbone, one regional, three
+// edge networks with the three stances, dual announcement endpoints.
+constexpr const char* kDemoConfig = R"(
+# R&E fabric
+peering 11537 20965 re
+re-transit 11537
+re-transit 20965
+transit 11537 3754 re         # regional under the backbone
+transit 3754 64001 re         # three members under the regional
+transit 3754 64002 re
+transit 3754 64003 re
+
+# commodity side
+peering 3356 1299
+transit 3356 21001            # a mid-tier transit
+transit 21001 64001
+transit 21001 64002
+transit 21001 64003
+
+# announcement endpoints: R&E origin under the backbone, commodity origin
+# under Lumen (the paper's dual-origin setup)
+transit 11537 65100 re
+transit 3356 65200
+
+# planted stances to recover
+stance 64001 prefer-re
+stance 64002 equal
+stance 64003 prefer-commodity
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace re;
+
+  std::string config_text = kDemoConfig;
+  if (argc == 2) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    config_text = buffer.str();
+    std::printf("loaded topology from %s\n\n", argv[1]);
+  } else {
+    std::printf("using the built-in demo topology (pass a file to override)\n\n");
+  }
+
+  bgp::BgpNetwork network(3);
+  const io::TopologyLoadResult loaded = io::load_topology(config_text, network);
+  if (!loaded.ok) {
+    for (const std::string& error : loaded.errors) {
+      std::fprintf(stderr, "config error: %s\n", error.c_str());
+    }
+    return 1;
+  }
+  std::printf("%zu directives applied, %zu speakers\n\n", loaded.directives,
+              network.speaker_count());
+  io::apply_announcements(loaded.announcements, network);
+
+  // Run the relative-preference schedule between the two endpoints.
+  core::RouteClassEndpoint re_side{"r&e", net::Asn{65100}, 17, true};
+  core::RouteClassEndpoint commodity_side{"commodity", net::Asn{65200}, 18,
+                                          false};
+  core::RelativePreferenceExperiment experiment(network, re_side,
+                                                commodity_side);
+  const auto results = experiment.run(
+      {net::Asn{64001}, net::Asn{64002}, net::Asn{64003}});
+
+  std::printf("AS       inferred preference   per-round classes\n");
+  for (const auto& result : results) {
+    std::string rounds;
+    for (const int cls : result.per_round_class) {
+      rounds += cls == 0 ? 'R' : (cls == 1 ? 'C' : '?');
+    }
+    std::printf("%-8u %-21s %s\n", result.tested_as.value(),
+                to_string(result.preference).c_str(), rounds.c_str());
+  }
+  std::printf(
+      "\n(always-first = prefers the R&E class, length-sensitive = equal\n"
+      "localpref, always-second = prefers commodity — matching the planted\n"
+      "stances in the config.)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Default-route detection (§2.3 lineage: Bush et al. 2009, Rodday et al.
+// 2021 — the passive-VP methodology the paper adapts).
+//
+// Announce a probe prefix so that a class of ASes has no route to it
+// (here: commodity-only propagation, which R&E-reject members and members
+// without commodity transit never learn). Any response from such an AS
+// proves a default route — the "hidden upstream" phenomenon that also
+// explains the paper's no-commodity-column members that still returned
+// via commodity (§4.2).
+#include <cstdio>
+
+#include "dataplane/return_path.h"
+#include "topology/ecosystem.h"
+
+int main() {
+  using namespace re;
+
+  topo::EcosystemParams params;
+  params = params.scaled(0.2);
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  bgp::BgpNetwork network(31);
+  eco.build_network(network);
+
+  // The probe prefix exists only on the commodity side.
+  const net::Prefix probe = eco.measurement().prefix;
+  network.announce(eco.measurement().commodity_origin, probe);
+  network.run_to_convergence();
+
+  dataplane::ReturnPathResolver resolver(
+      network, probe, {eco.measurement().commodity_origin});
+
+  std::size_t no_route = 0, via_rib = 0, via_default = 0;
+  std::size_t detected_true = 0, planted = 0, missed = 0;
+  for (const net::Asn member : eco.members()) {
+    const topo::AsRecord* r = eco.directory().find(member);
+    planted += r->traits.default_route_commodity ? 1 : 0;
+    const dataplane::ReturnPath path = resolver.resolve(member);
+    if (!path.reachable) {
+      ++no_route;
+      missed += r->traits.default_route_commodity ? 1 : 0;
+    } else if (path.used_default_route) {
+      ++via_default;
+      detected_true += r->traits.default_route_commodity ? 1 : 0;
+    } else {
+      ++via_rib;
+    }
+  }
+
+  std::printf("default-route study over %zu member ASes:\n", eco.members().size());
+  std::printf("  responded via a RIB route:      %zu\n", via_rib);
+  std::printf("  responded via a DEFAULT route:  %zu\n", via_default);
+  std::printf("  unreachable (no route at all):  %zu\n\n", no_route);
+  std::printf(
+      "ground truth: %zu members were planted with hidden default routes;\n"
+      "%zu of the %zu default-route responders are planted (%s);\n"
+      "%zu planted defaults never fired (an ordinary RIB route — e.g. the\n"
+      "NREN's commodity arm — covered the probe prefix) and %zu stayed\n"
+      "unreachable.\n\n",
+      planted, detected_true, via_default,
+      detected_true == via_default ? "no false positives" : "FALSE POSITIVES",
+      planted - detected_true - missed, missed);
+  std::printf(
+      "This is the §4.2 'hidden upstream' mechanism: a network whose only\n"
+      "BGP-visible transit is R&E can still return measurement traffic\n"
+      "over commodity through an unannounced default — which is why 9%% of\n"
+      "the paper's no-commodity prefixes did not always return via R&E.\n");
+  return via_default > 0 && detected_true == via_default ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the full inference pipeline on a small synthetic R&E
+// ecosystem.
+//
+//   1. generate an ecosystem (a scaled-down version of the paper's world),
+//   2. generate probe-seed datasets and select targets (§3.2),
+//   3. run the SURF-style and Internet2-style experiments (§3.3),
+//   4. classify every prefix (§4, Table 1) and compare experiments
+//      (Table 2), and
+//   5. validate the inferences against the planted ground truth.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "core/classifier.h"
+#include "core/comparator.h"
+#include "core/experiment.h"
+#include "core/validator.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+int main() {
+  using namespace re;
+
+  // A ~1/10-scale world keeps the quickstart under a few seconds.
+  topo::EcosystemParams params;
+  params = params.scaled(0.10);
+  params.seed = 20250529;
+  const topo::Ecosystem ecosystem = topo::Ecosystem::generate(params);
+  std::printf("ecosystem: %zu ASes, %zu member prefixes\n",
+              ecosystem.directory().size(), ecosystem.prefixes().size());
+
+  probing::SeedGenParams seed_params;
+  const probing::SeedDatabase db =
+      probing::SeedDatabase::generate(ecosystem, seed_params);
+  const probing::SelectionResult selection =
+      probing::select_probe_seeds(ecosystem, db, /*seed=*/11);
+  std::printf(
+      "seeds: %zu/%zu prefixes responsive (%zu with 3 targets), %zu/%zu ASes\n\n",
+      selection.stats.responsive, selection.stats.total_prefixes,
+      selection.stats.with_three_targets, selection.stats.ases_responsive,
+      selection.stats.ases_total);
+
+  core::ExperimentConfig surf_config;
+  surf_config.experiment = core::ReExperiment::kSurf;
+  surf_config.seed = 501;
+  core::ExperimentController surf(ecosystem, selection.seeds, surf_config);
+  const core::ExperimentResult surf_result = surf.run();
+
+  core::ExperimentConfig i2_config;
+  i2_config.experiment = core::ReExperiment::kInternet2;
+  i2_config.seed = 502;
+  core::ExperimentController i2(ecosystem, selection.seeds, i2_config);
+  const core::ExperimentResult i2_result = i2.run();
+
+  const auto surf_inferences = core::classify_experiment(surf_result);
+  const auto i2_inferences = core::classify_experiment(i2_result);
+
+  std::printf("%s\n",
+              analysis::render_table1(core::summarize_table1(surf_inferences),
+                                      "Table 1a — SURF experiment")
+                  .c_str());
+  std::printf("%s\n",
+              analysis::render_table1(core::summarize_table1(i2_inferences),
+                                      "Table 1b — Internet2 experiment")
+                  .c_str());
+
+  const core::Table2 table2 =
+      core::compare_experiments(surf_inferences, i2_inferences);
+  std::printf("Table 2 — cross-experiment comparison\n%s\n",
+              analysis::render_table2(table2).c_str());
+
+  const core::GroundTruthReport truth =
+      core::validate_against_plant(i2_inferences, ecosystem);
+  std::printf("%s", analysis::render_ground_truth(truth).c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// re_survey: the full measurement campaign, end to end — the analogue of
+// the scamper-driven survey program the paper released.
+//
+// Generates (or scales) the R&E ecosystem, builds the probe-seed set, runs
+// both experiments, prints Tables 1 and 2, and writes per-prefix results
+// as JSON lines (prefix, origin ASN, per-round return classes, inference)
+// the way the paper's tooling emits JSON results.
+//
+// usage: re_survey [--scale S] [--seed N] [--json FILE] [--max-lines N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/report.h"
+#include "core/classifier.h"
+#include "core/comparator.h"
+#include "core/experiment.h"
+#include "core/validator.h"
+#include "io/results_io.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace {
+
+struct Options {
+  double scale = 0.15;
+  std::uint64_t seed = 20250529;
+  std::string json_path;
+  std::size_t max_lines = 0;  // 0 = unlimited
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--scale")) {
+      options.scale = std::atof(argv[++i]);
+    } else if (has_value("--seed")) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (has_value("--json")) {
+      options.json_path = argv[++i];
+    } else if (has_value("--max-lines")) {
+      options.max_lines = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: re_survey [--scale S] [--seed N] [--json FILE]"
+                   " [--max-lines N]\n");
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace re;
+  const Options options = parse_options(argc, argv);
+
+  topo::EcosystemParams params;
+  if (options.scale < 1.0) params = params.scaled(options.scale);
+  params.seed = options.seed;
+  const topo::Ecosystem ecosystem = topo::Ecosystem::generate(params);
+
+  const probing::SeedDatabase db =
+      probing::SeedDatabase::generate(ecosystem, probing::SeedGenParams{});
+  const probing::SelectionResult selection =
+      probing::select_probe_seeds(ecosystem, db, 11);
+  std::printf("surveying %zu prefixes (%zu ASes) with %zu responsive\n\n",
+              selection.stats.total_prefixes, selection.stats.ases_total,
+              selection.stats.responsive);
+
+  core::ExperimentConfig surf_config;
+  surf_config.experiment = core::ReExperiment::kSurf;
+  surf_config.seed = options.seed ^ 501;
+  const core::ExperimentResult surf_result =
+      core::ExperimentController(ecosystem, selection.seeds, surf_config).run();
+
+  core::ExperimentConfig i2_config;
+  i2_config.experiment = core::ReExperiment::kInternet2;
+  i2_config.seed = options.seed ^ 502;
+  const core::ExperimentResult i2_result =
+      core::ExperimentController(ecosystem, selection.seeds, i2_config).run();
+
+  const auto surf = core::classify_experiment(surf_result);
+  const auto i2 = core::classify_experiment(i2_result);
+
+  std::printf("%s\n", analysis::render_table1(core::summarize_table1(surf),
+                                              "SURF experiment")
+                          .c_str());
+  std::printf("%s\n", analysis::render_table1(core::summarize_table1(i2),
+                                              "Internet2 experiment")
+                          .c_str());
+  std::printf("%s\n",
+              analysis::render_table2(core::compare_experiments(surf, i2))
+                  .c_str());
+  std::printf("%s\n",
+              analysis::render_ground_truth(
+                  core::validate_against_plant(i2, ecosystem))
+                  .c_str());
+
+  // JSON-lines result dump (paper's tooling emits JSON per probed target).
+  if (!options.json_path.empty()) {
+    std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", options.json_path.c_str());
+      return 1;
+    }
+    std::size_t lines = 0;
+    for (const core::PrefixInference& p : i2) {
+      if (options.max_lines != 0 && lines >= options.max_lines) break;
+      const std::string line = io::to_json_line(p);
+      std::fprintf(out, "%s\n", line.c_str());
+      ++lines;
+    }
+    std::fclose(out);
+    std::printf("wrote %zu JSON result lines to %s\n", lines,
+                options.json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// replay_results: load a released JSON result file (the format re_survey
+// writes and the paper's supplement uses) and recompute the headline
+// analyses offline — no simulator required.
+//
+// usage: replay_results <results.jsonl>
+//        replay_results --demo       (generate a small dataset in memory)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/report.h"
+#include "core/classifier.h"
+#include "core/switch_cdf.h"
+#include "io/results_io.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace {
+
+std::string demo_dataset() {
+  using namespace re;
+  topo::EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  const auto db = probing::SeedDatabase::generate(eco, {});
+  const auto selection = probing::select_probe_seeds(eco, db, 11);
+  core::ExperimentConfig config;
+  config.experiment = core::ReExperiment::kInternet2;
+  config.seed = 502;
+  const auto result =
+      core::ExperimentController(eco, selection.seeds, config).run();
+  return io::to_json_lines(core::classify_experiment(result));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace re;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <results.jsonl> | --demo\n", argv[0]);
+    return 2;
+  }
+
+  std::string text;
+  if (std::strcmp(argv[1], "--demo") == 0) {
+    std::printf("generating a demo dataset (scale 0.08)...\n\n");
+    text = demo_dataset();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  const auto inferences = io::from_json_lines(text);
+  if (!inferences) {
+    std::fprintf(stderr, "malformed results file\n");
+    return 1;
+  }
+  std::printf("loaded %zu prefix results\n\n", inferences->size());
+
+  // Table 1 from the released data alone.
+  const core::Table1 table = core::summarize_table1(*inferences);
+  std::printf("%s\n",
+              analysis::render_table1(table, "Inference categories").c_str());
+
+  // Switch-configuration CDF (Figure 8 style; single experiment, so the
+  // population is just this run's switchers).
+  const core::SwitchCdf cdf = core::build_switch_cdf(
+      *inferences, *inferences, core::paper_schedule(), false);
+  std::printf("first-switch CDF (participant N=%zu, peer-nren N=%zu):\n%s",
+              cdf.participant_ases, cdf.peer_nren_ases,
+              core::render_switch_cdf(cdf).c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "analysis/report.h"
+
+#include "analysis/table.h"
+
+namespace re::analysis {
+namespace {
+
+const core::Inference kTable1Order[] = {
+    core::Inference::kAlwaysRe,          core::Inference::kAlwaysCommodity,
+    core::Inference::kSwitchToRe,        core::Inference::kSwitchToCommodity,
+    core::Inference::kMixed,             core::Inference::kOscillating,
+};
+
+}  // namespace
+
+std::string render_table1(const core::Table1& table, const std::string& title) {
+  TextTable text({"Inference", "Prefixes", "%", "ASes", "%"});
+  for (const core::Inference inference : kTable1Order) {
+    const auto it = table.cells.find(inference);
+    const std::size_t prefixes = it == table.cells.end() ? 0 : it->second.prefixes;
+    const std::size_t ases = it == table.cells.end() ? 0 : it->second.ases;
+    text.add_row({to_string(inference), with_commas(prefixes),
+                  percent(table.total_prefixes
+                              ? static_cast<double>(prefixes) / table.total_prefixes
+                              : 0.0),
+                  with_commas(ases),
+                  percent(table.total_ases
+                              ? static_cast<double>(ases) / table.total_ases
+                              : 0.0)});
+  }
+  text.add_separator();
+  text.add_row({"Total:", with_commas(table.total_prefixes), "",
+                with_commas(table.total_ases), ""});
+  return title + "\n" + text.to_string() +
+         "(excluded for packet loss: " + with_commas(table.excluded_loss) +
+         ")\n";
+}
+
+std::string render_table2(const core::Table2& table) {
+  std::string out = "Incomparable prefixes:\n";
+  TextTable inc({"Reason", "Prefixes"});
+  inc.add_row({"Packet loss", with_commas(table.loss)});
+  inc.add_row({"Mixed R&E + commodity", with_commas(table.mixed)});
+  inc.add_row({"Oscillating", with_commas(table.oscillating)});
+  inc.add_row({"Switch to commodity", with_commas(table.switch_to_commodity)});
+  inc.add_separator();
+  inc.add_row({"Incomparable total:", with_commas(table.incomparable())});
+  out += inc.to_string() + "\n";
+
+  const core::Inference cats[] = {core::Inference::kAlwaysCommodity,
+                                  core::Inference::kAlwaysRe,
+                                  core::Inference::kSwitchToRe};
+  TextTable cross({"First experiment", "Second experiment", "Prefixes", "%"});
+  const double comparable =
+      static_cast<double>(table.comparable() ? table.comparable() : 1);
+  for (const core::Inference a : cats) {
+    for (const core::Inference b : cats) {
+      if (a == b) continue;
+      const std::size_t n = table.cell(a, b);
+      if (n == 0) continue;
+      cross.add_row({to_string(a), to_string(b), with_commas(n),
+                     percent(n / comparable)});
+    }
+  }
+  cross.add_separator();
+  cross.add_row({"Different inferences:", "", with_commas(table.different),
+                 percent(table.different / comparable)});
+  cross.add_separator();
+  for (const core::Inference a : cats) {
+    const std::size_t n = table.cell(a, a);
+    cross.add_row({to_string(a), to_string(a), with_commas(n),
+                   percent(n / comparable)});
+  }
+  cross.add_separator();
+  cross.add_row({"Same inferences:", "", with_commas(table.same),
+                 percent(table.same / comparable)});
+  cross.add_row({"Comparable prefixes:", "", with_commas(table.comparable()), ""});
+  out += cross.to_string();
+  return out;
+}
+
+std::string render_table3(const core::Table3& table) {
+  TextTable text({"Inference", "Congruent", "Incongruent", "Total"});
+  std::size_t congruent_total = 0, incongruent_total = 0;
+  for (const auto& [inference, row] : table.rows) {
+    text.add_row({to_string(inference), std::to_string(row.congruent),
+                  std::to_string(row.incongruent),
+                  std::to_string(row.congruent + row.incongruent)});
+    congruent_total += row.congruent;
+    incongruent_total += row.incongruent;
+  }
+  text.add_separator();
+  text.add_row({"Total", std::to_string(congruent_total),
+                std::to_string(incongruent_total),
+                std::to_string(congruent_total + incongruent_total)});
+  std::string out = text.to_string();
+  out += "(ASes with a view: " + std::to_string(table.ases_with_view) +
+         ", dropped for no majority inference: " +
+         std::to_string(table.dropped_no_majority) + ")\n";
+  for (const core::ViewCongruence& d : table.details) {
+    if (!d.congruent) {
+      out += "  incongruent: " + d.as.to_string() + " inferred '" +
+             to_string(d.inferred) + "'" +
+             (d.vrf_split ? " [exports commodity VRF to collector]" : "") +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_table4(const core::Table4& table) {
+  const core::Inference rows[] = {
+      core::Inference::kAlwaysRe, core::Inference::kAlwaysCommodity,
+      core::Inference::kSwitchToRe, core::Inference::kMixed};
+  const core::PrependClass cols[] = {
+      core::PrependClass::kEqual, core::PrependClass::kMoreToComm,
+      core::PrependClass::kMoreToRe, core::PrependClass::kNoCommodity};
+
+  TextTable text({"Inference", "R=C", "R<C", "R>C", "no commodity"});
+  for (const core::Inference inference : rows) {
+    std::vector<std::string> cells{to_string(inference)};
+    for (const core::PrependClass cls : cols) {
+      cells.push_back(with_commas(table.cell(cls, inference)) + " (" +
+                      percent(table.share(cls, inference)) + ")");
+    }
+    text.add_row(std::move(cells));
+  }
+  text.add_separator();
+  std::vector<std::string> totals{"Total"};
+  for (const core::PrependClass cls : cols) {
+    const auto it = table.totals.find(cls);
+    totals.push_back(with_commas(it == table.totals.end() ? 0 : it->second));
+  }
+  text.add_row(std::move(totals));
+  return text.to_string();
+}
+
+std::string render_figure5(const core::Figure5& fig) {
+  std::string out;
+  out += "overall: " + with_commas(fig.prefixes_via_re) + " of " +
+         with_commas(fig.prefixes_with_route) + " prefixes (" +
+         percent(fig.prefixes_with_route
+                     ? static_cast<double>(fig.prefixes_via_re) /
+                           fig.prefixes_with_route
+                     : 0) +
+         ") reached over R&E; " + with_commas(fig.ases_via_re) + " of " +
+         with_commas(fig.ases_with_route) + " ASes (" +
+         percent(fig.ases_with_route
+                     ? static_cast<double>(fig.ases_via_re) / fig.ases_with_route
+                     : 0) +
+         ")\n\n";
+
+  auto render_regions = [](const std::vector<core::RegionShare>& regions,
+                           const std::string& title) {
+    TextTable text({"Region", "ASes", "via R&E", "%"});
+    for (const core::RegionShare& r : regions) {
+      text.add_row({r.region, std::to_string(r.ases), std::to_string(r.via_re),
+                    percent(r.share(), 0)});
+    }
+    return title + "\n" + text.to_string();
+  };
+  out += render_regions(fig.europe, "(a) Europe, by country:") + "\n";
+  out += render_regions(fig.us_states, "(b) U.S., by state:");
+  return out;
+}
+
+std::string render_ground_truth(const core::GroundTruthReport& report) {
+  std::string out = "ground truth: " + std::to_string(report.correct) + " / " +
+                    std::to_string(report.ases_checked) +
+                    " AS-level inferences match the planted policy (" +
+                    percent(report.accuracy()) + ")\n";
+  for (const auto& [key, count] : report.confusion) {
+    out += "  " + key.first + " -> inferred '" + to_string(key.second) +
+           "': " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace re::analysis

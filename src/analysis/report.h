@@ -1,0 +1,21 @@
+// Paper-style renderings of the reproduction's tables.
+#pragma once
+
+#include <string>
+
+#include "core/classifier.h"
+#include "core/comparator.h"
+#include "core/prepend_analysis.h"
+#include "core/route_selection.h"
+#include "core/validator.h"
+
+namespace re::analysis {
+
+std::string render_table1(const core::Table1& table, const std::string& title);
+std::string render_table2(const core::Table2& table);
+std::string render_table3(const core::Table3& table);
+std::string render_table4(const core::Table4& table);
+std::string render_figure5(const core::Figure5& fig);
+std::string render_ground_truth(const core::GroundTruthReport& report);
+
+}  // namespace re::analysis

@@ -1,0 +1,67 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace re::analysis {
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out += cell;
+      if (i + 1 < widths.size()) {
+        out.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total_width = 0;
+  for (const std::size_t w : widths) total_width += w + 2;
+  out.append(total_width > 2 ? total_width - 2 : total_width, '-');
+  out += "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out.append(total_width > 2 ? total_width - 2 : total_width, '-');
+      out += "\n";
+    } else {
+      emit_row(row, out);
+    }
+  }
+  return out;
+}
+
+std::string percent(double fraction, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+std::string with_commas(std::size_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace re::analysis

@@ -1,0 +1,34 @@
+// Plain-text table rendering for benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace re::analysis {
+
+// A fixed-column text table with automatic width computation.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void add_separator() { rows_.push_back({}); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "81.8%"-style formatting.
+std::string percent(double fraction, int decimals = 1);
+
+// Thousands formatting ("12,047").
+std::string with_commas(std::size_t value);
+
+}  // namespace re::analysis

@@ -1,0 +1,38 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace re::bgp {
+
+bool AsPath::contains(net::Asn asn) const noexcept {
+  return std::find(asns_.begin(), asns_.end(), asn) != asns_.end();
+}
+
+std::size_t AsPath::count(net::Asn asn) const noexcept {
+  return static_cast<std::size_t>(std::count(asns_.begin(), asns_.end(), asn));
+}
+
+AsPath AsPath::prepended(net::Asn asn, std::size_t copies) const {
+  std::vector<net::Asn> out;
+  out.reserve(asns_.size() + copies);
+  out.insert(out.end(), copies, asn);
+  out.insert(out.end(), asns_.begin(), asns_.end());
+  return AsPath(std::move(out));
+}
+
+std::size_t AsPath::unique_count() const {
+  std::unordered_set<net::Asn> seen(asns_.begin(), asns_.end());
+  return seen.size();
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(std::to_string(asns_[i].value()));
+  }
+  return out;
+}
+
+}  // namespace re::bgp

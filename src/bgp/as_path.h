@@ -1,0 +1,58 @@
+// BGP AS path attribute.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+
+namespace re::bgp {
+
+// An AS_PATH as a flat AS_SEQUENCE (AS_SET aggregation is not modelled;
+// the paper's measurement prefix is never aggregated). The front of the
+// sequence is the most recently traversed AS (the neighbor the route was
+// learned from), the back is the origin AS. Prepends appear as repeated
+// ASNs, and — as in BGP — each repetition counts toward path length.
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<net::Asn> asns) : asns_(asns) {}
+  explicit AsPath(std::vector<net::Asn> asns) : asns_(std::move(asns)) {}
+
+  // Path length as used by the BGP decision process (counts repeats).
+  std::size_t length() const noexcept { return asns_.size(); }
+  bool empty() const noexcept { return asns_.empty(); }
+
+  // The AS adjacent to the receiver (first element), or invalid if empty.
+  net::Asn first() const noexcept { return asns_.empty() ? net::Asn{} : asns_.front(); }
+  // The AS that originated the route (last element), or invalid if empty.
+  net::Asn origin() const noexcept { return asns_.empty() ? net::Asn{} : asns_.back(); }
+
+  // Loop detection: true if `asn` appears anywhere in the path.
+  bool contains(net::Asn asn) const noexcept;
+
+  // Number of times `asn` appears (1 means no prepending by that AS).
+  std::size_t count(net::Asn asn) const noexcept;
+
+  // Returns a new path with `asn` prepended `copies` times at the front,
+  // as an AS does when exporting a route to a neighbor.
+  AsPath prepended(net::Asn asn, std::size_t copies = 1) const;
+
+  // Number of distinct ASes in the path.
+  std::size_t unique_count() const;
+
+  const std::vector<net::Asn>& asns() const noexcept { return asns_; }
+
+  // Space-separated ASN list, e.g. "174 3356 2152 7377".
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<net::Asn> asns_;
+};
+
+}  // namespace re::bgp

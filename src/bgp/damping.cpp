@@ -1,0 +1,39 @@
+#include "bgp/damping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace re::bgp {
+
+double DampingState::penalty_at(net::SimTime now,
+                                const DampingConfig& config) const {
+  const net::SimTime elapsed = now - last_update_;
+  if (elapsed <= 0 || penalty_ <= 0) return penalty_;
+  const double halves =
+      static_cast<double>(elapsed) / static_cast<double>(config.half_life);
+  return penalty_ * std::exp2(-halves);
+}
+
+void DampingState::record(double penalty, net::SimTime now,
+                          const DampingConfig& config) {
+  penalty_ = std::min(penalty_at(now, config) + penalty, config.max_penalty);
+  last_update_ = now;
+  if (!suppressed_ && penalty_ >= config.suppress_threshold) {
+    suppressed_ = true;
+    suppressed_since_ = now;
+  }
+}
+
+bool DampingState::suppressed(net::SimTime now,
+                              const DampingConfig& config) const {
+  if (!suppressed_) return false;
+  const double current = penalty_at(now, config);
+  if (current < config.reuse_threshold ||
+      now - suppressed_since_ >= config.max_suppress) {
+    suppressed_ = false;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace re::bgp

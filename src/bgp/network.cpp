@@ -1,0 +1,257 @@
+#include "bgp/network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace re::bgp {
+
+Speaker& BgpNetwork::add_speaker(net::Asn asn) {
+  if (const auto it = index_.find(asn); it != index_.end()) {
+    return *speakers_[it->second];
+  }
+  index_[asn] = speakers_.size();
+  speakers_.push_back(std::make_unique<Speaker>(asn));
+  return *speakers_.back();
+}
+
+Speaker* BgpNetwork::speaker(net::Asn asn) {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : speakers_[it->second].get();
+}
+
+const Speaker* BgpNetwork::speaker(net::Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : speakers_[it->second].get();
+}
+
+std::vector<net::Asn> BgpNetwork::asns() const {
+  std::vector<net::Asn> out;
+  out.reserve(speakers_.size());
+  for (const auto& s : speakers_) out.push_back(s->asn());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+// Deterministic per-session router id derived from the two ASNs, so that
+// the final tie-break is reproducible without global coordination.
+std::uint32_t derive_router_id(net::Asn local, net::Asn neighbor) {
+  std::uint64_t x = (std::uint64_t{local.value()} << 32) | neighbor.value();
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<std::uint32_t>(x);
+}
+
+Session make_session(net::Asn local, net::Asn neighbor, Relationship rel,
+                     bool re_edge) {
+  Session s;
+  s.neighbor = neighbor;
+  s.relationship = rel;
+  s.re_edge = re_edge;
+  s.router_id = derive_router_id(local, neighbor);
+  return s;
+}
+
+}  // namespace
+
+void BgpNetwork::connect_transit(net::Asn provider, net::Asn customer,
+                                 bool re_edge) {
+  Speaker& p = add_speaker(provider);
+  Speaker& c = add_speaker(customer);
+  p.add_session(make_session(provider, customer, Relationship::kCustomer, re_edge));
+  c.add_session(make_session(customer, provider, Relationship::kProvider, re_edge));
+}
+
+void BgpNetwork::connect_peering(net::Asn a, net::Asn b, bool re_edge) {
+  Speaker& sa = add_speaker(a);
+  Speaker& sb = add_speaker(b);
+  sa.add_session(make_session(a, b, Relationship::kPeer, re_edge));
+  sb.add_session(make_session(b, a, Relationship::kPeer, re_edge));
+}
+
+net::SimTime BgpNetwork::edge_delay(net::Asn from, net::Asn to) {
+  // Deterministic base (1..12s, a stand-in for MRAI and link latency) plus
+  // seeded jitter (0..19s) so that update waves arrive staggered and
+  // propagation explores transient paths ("path hunting") the way real
+  // BGP does.
+  const std::uint32_t mix = derive_router_id(from, to);
+  const net::SimTime base = 1 + (mix % 12);
+  return base + static_cast<net::SimTime>(rng_.below(20));
+}
+
+void BgpNetwork::enqueue(net::Asn from, net::Asn to, UpdateMessage update) {
+  PendingMessage msg;
+  msg.deliver_at = clock_.now() + edge_delay(from, to);
+  // Per-session FIFO: an update never overtakes an earlier one on the
+  // same session (BGP runs over TCP).
+  const std::uint64_t edge =
+      (std::uint64_t{from.value()} << 32) | to.value();
+  auto& last = edge_last_delivery_[edge];
+  if (msg.deliver_at <= last) msg.deliver_at = last;  // same tick: seq orders
+  last = msg.deliver_at;
+  msg.seq = next_seq_++;
+  msg.from = from;
+  msg.to = to;
+  msg.update = std::move(update);
+  queue_.push(std::move(msg));
+}
+
+void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix) {
+  for (const Session& session : from.sessions()) {
+    const EdgePrefixKey key{from.asn(), session.neighbor, prefix};
+    auto announcement = from.eligible_announcement(session, prefix);
+    auto it = sent_.find(key);
+    if (announcement) {
+      if (it != sent_.end() && !it->second.withdrawn &&
+          it->second.path == announcement->path &&
+          it->second.origin == announcement->origin) {
+        continue;  // nothing new to say
+      }
+      sent_[key] = SentState{false, announcement->path, announcement->origin};
+      enqueue(from.asn(), session.neighbor, *std::move(announcement));
+    } else {
+      if (it == sent_.end() || it->second.withdrawn) continue;
+      it->second = SentState{};
+      UpdateMessage withdraw;
+      withdraw.prefix = prefix;
+      withdraw.withdraw = true;
+      enqueue(from.asn(), session.neighbor, std::move(withdraw));
+    }
+  }
+  if (collector_peers_.count(from.asn()) != 0) {
+    record_collector(from.asn(), prefix);
+  }
+}
+
+void BgpNetwork::record_collector(net::Asn peer, const net::Prefix& prefix) {
+  Speaker* s = speaker(peer);
+  if (s == nullptr) return;
+  // A VRF-split AS feeds the collector from its commodity VRF (§4.1.1).
+  const Route* view =
+      s->vrf_split_export() ? s->best_commodity(prefix) : s->best(prefix);
+
+  const EdgePrefixKey key{peer, net::Asn{}, prefix};
+  auto it = collector_sent_.find(key);
+  if (view != nullptr) {
+    const AsPath exported = view->path.prepended(peer, 1);
+    if (it != collector_sent_.end() && !it->second.withdrawn &&
+        it->second.path == exported) {
+      return;
+    }
+    collector_sent_[key] = SentState{false, exported, view->origin};
+    log_.record(CollectorUpdate{clock_.now(), peer, prefix, false, exported});
+  } else {
+    if (it == collector_sent_.end() || it->second.withdrawn) return;
+    it->second = SentState{};
+    log_.record(CollectorUpdate{clock_.now(), peer, prefix, true, AsPath{}});
+  }
+}
+
+void BgpNetwork::announce(net::Asn origin, const net::Prefix& prefix,
+                          OriginationOptions options) {
+  Speaker* s = speaker(origin);
+  if (s == nullptr) return;
+  s->originate(prefix, clock_.now(), options);
+  flush_exports(*s, prefix);
+}
+
+void BgpNetwork::withdraw(net::Asn origin, const net::Prefix& prefix) {
+  Speaker* s = speaker(origin);
+  if (s == nullptr) return;
+  s->withdraw_origination(prefix, clock_.now());
+  flush_exports(*s, prefix);
+}
+
+void BgpNetwork::set_origin_prepend(net::Asn origin, const net::Prefix& prefix,
+                                    std::uint32_t extra_prepends) {
+  Speaker* s = speaker(origin);
+  if (s == nullptr) return;
+  s->export_policy().default_prepend = extra_prepends;
+  // Best route is unchanged at the origin; only the exported form differs.
+  flush_exports(*s, prefix);
+}
+
+void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix) {
+  for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
+    Speaker* s = speaker(local);
+    if (s == nullptr) continue;
+    UpdateMessage withdraw;
+    withdraw.prefix = prefix;
+    withdraw.withdraw = true;
+    if (s->receive(remote, withdraw, clock_.now())) flush_exports(*s, prefix);
+    if (collector_peers_.count(local) != 0) record_collector(local, prefix);
+    // Forget what was sent over the dead session so that restoration
+    // re-advertises from scratch.
+    sent_.erase(EdgePrefixKey{local, remote, prefix});
+  }
+}
+
+void BgpNetwork::restore_session(net::Asn a, net::Asn b,
+                                 const net::Prefix& prefix) {
+  for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
+    Speaker* s = speaker(local);
+    if (s == nullptr) continue;
+    flush_exports(*s, prefix);
+  }
+}
+
+ConvergenceStats BgpNetwork::run_to_convergence() {
+  return run_until(std::numeric_limits<net::SimTime>::max());
+}
+
+ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
+  ConvergenceStats stats;
+  while (!queue_.empty() && queue_.top().deliver_at <= deadline) {
+    PendingMessage msg = queue_.top();
+    queue_.pop();
+    clock_.advance_to(msg.deliver_at);
+    Speaker* to = speaker(msg.to);
+    if (to == nullptr) continue;
+    ++stats.messages_delivered;
+    const bool changed = to->receive(msg.from, msg.update, clock_.now());
+    if (changed) {
+      ++stats.best_changes;
+      flush_exports(*to, msg.update.prefix);
+    } else if (collector_peers_.count(msg.to) != 0) {
+      // The exported best may be unchanged while the commodity-VRF view
+      // (what this peer feeds the collector) changed.
+      record_collector(msg.to, msg.update.prefix);
+    }
+  }
+  stats.converged_at = clock_.now();
+  return stats;
+}
+
+ConvergenceStats BgpNetwork::settle(const net::Prefix& prefix) {
+  for (const auto& s : speakers_) {
+    if (s->reevaluate(prefix, clock_.now())) flush_exports(*s, prefix);
+  }
+  return run_to_convergence();
+}
+
+void BgpNetwork::add_collector_peer(net::Asn peer) {
+  collector_peers_.insert(peer);
+}
+
+void BgpNetwork::clear_prefix(const net::Prefix& prefix) {
+  for (const auto& s : speakers_) s->clear_prefix(prefix);
+  std::erase_if(sent_, [&](const auto& kv) { return kv.first.prefix == prefix; });
+  std::erase_if(collector_sent_,
+                [&](const auto& kv) { return kv.first.prefix == prefix; });
+  // The queue is expected to be drained before clearing; any stragglers
+  // for this prefix are dropped on delivery because state was erased...
+  // but dropping them here keeps semantics crisp.
+  if (!queue_.empty()) {
+    std::vector<PendingMessage> keep;
+    keep.reserve(queue_.size());
+    while (!queue_.empty()) {
+      if (queue_.top().update.prefix != prefix) keep.push_back(queue_.top());
+      queue_.pop();
+    }
+    for (auto& msg : keep) queue_.push(std::move(msg));
+  }
+}
+
+}  // namespace re::bgp

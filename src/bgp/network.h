@@ -1,0 +1,171 @@
+// BgpNetwork: the collection of speakers plus event-driven propagation.
+//
+// Updates travel as timestamped messages through a priority queue; each
+// edge has a deterministic base delay plus seeded jitter, which produces
+// realistic transient path exploration ("path hunting") and therefore a
+// realistic update-churn timeline (Figure 3). A run is a pure function of
+// the construction seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "bgp/update_log.h"
+#include "netbase/clock.h"
+#include "netbase/rng.h"
+
+namespace re::bgp {
+
+struct ConvergenceStats {
+  std::size_t messages_delivered = 0;
+  std::size_t best_changes = 0;
+  net::SimTime converged_at = 0;
+};
+
+class BgpNetwork {
+ public:
+  explicit BgpNetwork(std::uint64_t seed = 1) : rng_(seed) {}
+
+  net::SimClock& clock() noexcept { return clock_; }
+  const net::SimClock& clock() const noexcept { return clock_; }
+
+  // --- Topology construction --------------------------------------------
+
+  Speaker& add_speaker(net::Asn asn);
+  Speaker* speaker(net::Asn asn);
+  const Speaker* speaker(net::Asn asn) const;
+  bool contains(net::Asn asn) const { return index_.count(asn) != 0; }
+  std::vector<net::Asn> asns() const;
+  std::size_t speaker_count() const noexcept { return speakers_.size(); }
+
+  // Provider-customer link: `customer` buys transit from `provider`.
+  void connect_transit(net::Asn provider, net::Asn customer, bool re_edge = false);
+  // Settlement-free peering link.
+  void connect_peering(net::Asn a, net::Asn b, bool re_edge = false);
+
+  // --- Announcements ------------------------------------------------------
+
+  void announce(net::Asn origin, const net::Prefix& prefix,
+                OriginationOptions options = {});
+  void withdraw(net::Asn origin, const net::Prefix& prefix);
+
+  // Changes the origin's blanket prepend count and re-advertises the
+  // difference — the §3.3 prepend-configuration knob.
+  void set_origin_prepend(net::Asn origin, const net::Prefix& prefix,
+                          std::uint32_t extra_prepends);
+
+  // --- Failure injection --------------------------------------------------
+
+  // Simulates loss of reachability for `prefix` over the (a, b) session:
+  // both ends drop the neighbor's route and propagate the change.
+  void fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix);
+  // Restores the session: both ends re-advertise their current export.
+  void restore_session(net::Asn a, net::Asn b, const net::Prefix& prefix);
+
+  // --- Propagation ----------------------------------------------------------
+
+  // Delivers queued messages in timestamp order until the queue drains.
+  ConvergenceStats run_to_convergence();
+
+  // Delivers only messages scheduled at or before `deadline`, leaving later
+  // ones queued (used to probe a network that has NOT converged — the
+  // ablation counterpart of the paper's one-hour wait).
+  ConvergenceStats run_until(net::SimTime deadline);
+
+  bool converged() const noexcept { return queue_.empty(); }
+  std::size_t pending_messages() const noexcept { return queue_.size(); }
+
+  // Re-runs decisions network-wide for `prefix` (e.g. after damping decay)
+  // and propagates any changes to convergence.
+  ConvergenceStats settle(const net::Prefix& prefix);
+
+  // --- Collectors (public BGP view) ----------------------------------------
+
+  // Registers `peer` as a collector feed (RouteViews/RIS-style).
+  void add_collector_peer(net::Asn peer);
+  const std::unordered_set<net::Asn>& collector_peers() const noexcept {
+    return collector_peers_;
+  }
+  UpdateLog& update_log() noexcept { return log_; }
+  const UpdateLog& update_log() const noexcept { return log_; }
+
+  // --- Maintenance -----------------------------------------------------------
+
+  // Drops all state for `prefix` everywhere (used when sweeping many
+  // prefixes through the network one at a time).
+  void clear_prefix(const net::Prefix& prefix);
+
+ private:
+  struct PendingMessage {
+    net::SimTime deliver_at = 0;
+    std::uint64_t seq = 0;
+    net::Asn from;
+    net::Asn to;
+    UpdateMessage update;
+  };
+  struct LaterFirst {
+    bool operator()(const PendingMessage& a, const PendingMessage& b) const {
+      return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at
+                                          : a.seq > b.seq;
+    }
+  };
+
+  // What was last sent on a directed edge for a prefix (announce content
+  // or withdrawal), to suppress duplicate updates.
+  struct SentState {
+    bool withdrawn = true;
+    AsPath path;
+    Origin origin = Origin::kIgp;
+  };
+  struct EdgePrefixKey {
+    net::Asn from, to;
+    net::Prefix prefix;
+    bool operator==(const EdgePrefixKey&) const = default;
+  };
+  struct EdgePrefixKeyHash {
+    std::size_t operator()(const EdgePrefixKey& k) const noexcept {
+      std::size_t h = std::hash<net::Asn>{}(k.from);
+      h = h * 1315423911u ^ std::hash<net::Asn>{}(k.to);
+      h = h * 1315423911u ^ std::hash<net::Prefix>{}(k.prefix);
+      return h;
+    }
+  };
+
+  // Queues this speaker's current exports for `prefix` toward all
+  // sessions, suppressing duplicates.
+  void flush_exports(Speaker& from, const net::Prefix& prefix);
+
+  // Records the collector view of `peer` for `prefix` if it changed.
+  void record_collector(net::Asn peer, const net::Prefix& prefix);
+
+  void enqueue(net::Asn from, net::Asn to, UpdateMessage update);
+
+  net::SimTime edge_delay(net::Asn from, net::Asn to);
+
+  net::SimClock clock_;
+  net::Rng rng_;
+  std::vector<std::unique_ptr<Speaker>> speakers_;  // stable addresses
+  std::unordered_map<net::Asn, std::size_t> index_;
+  std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
+      queue_;
+  std::uint64_t next_seq_ = 0;
+  // BGP sessions are TCP streams: updates on one session must never
+  // overtake each other. Tracks the latest scheduled delivery per directed
+  // edge so later messages are clamped behind earlier ones.
+  std::unordered_map<std::uint64_t, net::SimTime> edge_last_delivery_;
+  std::unordered_map<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
+
+  std::unordered_set<net::Asn> collector_peers_;
+  std::unordered_map<EdgePrefixKey, SentState, EdgePrefixKeyHash>
+      collector_sent_;
+  UpdateLog log_;
+};
+
+}  // namespace re::bgp

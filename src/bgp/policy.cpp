@@ -1,0 +1,97 @@
+#include "bgp/policy.h"
+
+namespace re::bgp {
+
+std::string to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+std::string to_string(ReStance s) {
+  switch (s) {
+    case ReStance::kPreferRe: return "prefer-r&e";
+    case ReStance::kEqualPref: return "equal-localpref";
+    case ReStance::kPreferCommodity: return "prefer-commodity";
+  }
+  return "?";
+}
+
+std::uint32_t ImportPolicy::local_pref_for(const Session& session) const {
+  if (const auto it = neighbor_pref.find(session.neighbor);
+      it != neighbor_pref.end()) {
+    return it->second;
+  }
+  std::uint32_t base = provider_pref;
+  switch (session.relationship) {
+    case Relationship::kCustomer: base = customer_pref; break;
+    case Relationship::kPeer: base = peer_pref; break;
+    case Relationship::kProvider: base = provider_pref; break;
+  }
+  // The R&E stance discriminates among non-customer sessions: a member's
+  // R&E connectivity arrives via a provider (regional/NREN) or peer
+  // session, and the bonus tilts selection toward (or away from) the
+  // R&E side. Customer routes stay on top regardless, per Gao-Rexford.
+  if (session.relationship != Relationship::kCustomer) {
+    switch (re_stance) {
+      case ReStance::kPreferRe:
+        if (session.re_edge) base += stance_bonus;
+        break;
+      case ReStance::kPreferCommodity:
+        if (!session.re_edge) base += stance_bonus;
+        break;
+      case ReStance::kEqualPref:
+        break;
+    }
+  }
+  return base;
+}
+
+bool ImportPolicy::accepts(const Session& session) const {
+  if (reject_re_routes && session.re_edge) return false;
+  for (const net::Asn rejected : reject_neighbors) {
+    if (rejected == session.neighbor) return false;
+  }
+  return true;
+}
+
+std::uint32_t ExportPolicy::prepends_for(const Session& session) const {
+  std::uint32_t extra = default_prepend;
+  extra += session.re_edge ? re_prepend : commodity_prepend;
+  if (const auto it = neighbor_prepend.find(session.neighbor);
+      it != neighbor_prepend.end()) {
+    extra += it->second;
+  }
+  return extra;
+}
+
+bool ExportPolicy::path_allowed(net::Asn neighbor, const AsPath& path) const {
+  const auto it = neighbor_path_block.find(neighbor);
+  if (it == neighbor_path_block.end()) return true;
+  for (const net::Asn blocked : it->second) {
+    if (path.contains(blocked)) return false;
+  }
+  return true;
+}
+
+bool export_allowed(const Session* route_session, const Session& to,
+                    bool re_transit_between_peers) {
+  // Locally-originated routes are announced everywhere.
+  if (route_session == nullptr) return true;
+  // Customer routes are announced everywhere.
+  if (route_session->relationship == Relationship::kCustomer) return true;
+  // Peer and provider routes go to customers only...
+  if (to.relationship == Relationship::kCustomer) return true;
+  // ...except that R&E backbones glue peer NRENs to each other (§2.1:
+  // "Internet2 exports routes between peer NRENs to build a global R&E
+  // network").
+  if (re_transit_between_peers && route_session->re_edge && to.re_edge) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace re::bgp

@@ -1,0 +1,13 @@
+#include "bgp/route.h"
+
+namespace re::bgp {
+
+std::string Route::to_string() const {
+  std::string out = prefix.to_string();
+  out += " path [" + path.to_string() + "]";
+  out += " lp " + std::to_string(local_pref);
+  out += " from " + (learned_from.valid() ? learned_from.to_string() : "local");
+  return out;
+}
+
+}  // namespace re::bgp

@@ -1,0 +1,69 @@
+// BGP route (a prefix + the attributes a speaker stores for it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/as_path.h"
+#include "netbase/clock.h"
+#include "netbase/prefix.h"
+
+namespace re::bgp {
+
+// ORIGIN attribute. Lower is preferred by the decision process.
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+// A route as installed in an Adj-RIB-In after import-policy processing.
+struct Route {
+  net::Prefix prefix;
+  AsPath path;
+  Origin origin = Origin::kIgp;
+  std::uint32_t local_pref = 100;  // assigned by the receiver's import policy
+  std::uint32_t med = 0;
+
+  // The neighbor AS the route was learned from. Invalid (Asn{}) for
+  // locally-originated routes.
+  net::Asn learned_from;
+
+  // True for routes learned over eBGP sessions (everything in this AS-level
+  // model except local originations).
+  bool ebgp = true;
+
+  // IGP cost to the session's next hop, taken from the session config.
+  std::uint32_t igp_cost = 0;
+
+  // Router-id of the advertising neighbor: the final deterministic
+  // tie-break.
+  std::uint32_t neighbor_router_id = 0;
+
+  // When this (prefix, neighbor) route was first established without
+  // interruption — replacing an existing route's attributes keeps the older
+  // establishment time, as routers do when applying the route-age
+  // tie-break. See Appendix A of the paper.
+  net::SimTime established_at = 0;
+
+  // True when the session is part of the R&E fabric (used by analyses that
+  // classify selected routes as R&E vs commodity, e.g. Figure 5).
+  bool re_edge = false;
+
+  // Propagation scoped to the R&E fabric (a no-export-to-commodity
+  // community). The paper's R&E measurement announcement carries this
+  // semantics: "in the available public BGP data, only R&E networks
+  // reported a path to the measurement prefix" (§3.1).
+  bool re_only = false;
+
+  std::string to_string() const;
+};
+
+// An update message on the wire: either an announcement carrying path
+// attributes or a withdrawal of a prefix.
+struct UpdateMessage {
+  net::Prefix prefix;
+  bool withdraw = false;
+  AsPath path;       // as sent by the neighbor (receiver's import not applied)
+  Origin origin = Origin::kIgp;
+  std::uint32_t med = 0;
+  bool re_only = false;  // R&E-fabric-scoped announcement (see Route::re_only)
+};
+
+}  // namespace re::bgp

@@ -1,0 +1,291 @@
+#include "bgp/speaker.h"
+
+#include <algorithm>
+
+namespace re::bgp {
+namespace {
+
+// Locally-originated routes outrank anything learned; mirrors the weight /
+// origination preference real routers apply.
+constexpr std::uint32_t kLocalRoutePref = 1000;
+
+// True when two routes are interchangeable from the point of view of
+// neighbors (same selection outcome and same export content). Route age
+// deliberately excluded: refreshing a route's age is not a visible change.
+bool same_route_content(const Route& a, const Route& b) {
+  return a.learned_from == b.learned_from && a.path == b.path &&
+         a.origin == b.origin && a.med == b.med &&
+         a.local_pref == b.local_pref && a.re_only == b.re_only;
+}
+
+}  // namespace
+
+void Speaker::add_session(Session session) {
+  session_index_[session.neighbor] = sessions_.size();
+  sessions_.push_back(session);
+}
+
+const Session* Speaker::session_to(net::Asn neighbor) const {
+  const auto it = session_index_.find(neighbor);
+  return it == session_index_.end() ? nullptr : &sessions_[it->second];
+}
+
+void Speaker::set_session_default_route(net::Asn neighbor) {
+  const auto it = session_index_.find(neighbor);
+  if (it != session_index_.end()) sessions_[it->second].default_route = true;
+}
+
+const Session* Speaker::default_route_session() const {
+  for (const Session& s : sessions_) {
+    if (s.default_route) return &s;
+  }
+  return nullptr;
+}
+
+Route Speaker::make_local_route(const net::Prefix& prefix,
+                                net::SimTime since) const {
+  Route route;
+  route.prefix = prefix;
+  route.origin = Origin::kIgp;
+  route.local_pref = kLocalRoutePref;
+  route.ebgp = false;
+  route.established_at = since;
+  return route;
+}
+
+bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
+                      net::SimTime now) {
+  const Session* session = session_to(neighbor);
+  if (session == nullptr) return false;
+  auto& state = rib_[update.prefix];
+  state.prefix = update.prefix;
+
+  if (update.withdraw) {
+    const auto it = state.in.find(neighbor);
+    if (it == state.in.end()) return false;
+    state.in.erase(it);
+    if (damping_.enabled) {
+      state.damping[neighbor].record(damping_.withdraw_penalty, now, damping_);
+    }
+    return run_decision(state, now);
+  }
+
+  // Loop prevention / import filtering / ROV: the update itself is
+  // discarded, but it still *replaces* whatever this neighbor previously
+  // advertised — an implicit withdraw (RFC 4271 §9: an UPDATE replaces any
+  // earlier route from the same peer).
+  const bool rov_invalid =
+      rov_table_ != nullptr &&
+      rov_table_->validate_route(update.prefix, update.path) ==
+          RovState::kInvalid;
+  if (update.path.contains(asn_) || !import_.accepts(*session) ||
+      rov_invalid) {
+    const auto it = state.in.find(neighbor);
+    if (it == state.in.end()) return false;
+    state.in.erase(it);
+    return run_decision(state, now);
+  }
+
+  Route route;
+  route.prefix = update.prefix;
+  route.path = update.path;
+  route.origin = update.origin;
+  route.med = update.med;
+  route.learned_from = neighbor;
+  route.ebgp = true;
+  route.local_pref = import_.local_pref_for(*session);
+  route.igp_cost = session->igp_cost;
+  route.neighbor_router_id = session->router_id;
+  route.re_edge = session->re_edge;
+  route.re_only = update.re_only;
+
+  const auto it = state.in.find(neighbor);
+  if (it != state.in.end() && same_route_content(it->second, route)) {
+    return false;  // duplicate announcement; age is preserved
+  }
+  route.established_at = now;
+  if (damping_.enabled && it != state.in.end()) {
+    state.damping[neighbor].record(damping_.attribute_change_penalty, now,
+                                   damping_);
+  }
+  state.in[neighbor] = std::move(route);
+  return run_decision(state, now);
+}
+
+bool Speaker::originate(const net::Prefix& prefix, net::SimTime now,
+                        OriginationOptions options) {
+  auto& state = rib_[prefix];
+  state.prefix = prefix;
+  state.origination = options;
+  if (!state.local) {
+    state.local = true;
+    state.local_since = now;
+  }
+  return run_decision(state, now);
+}
+
+bool Speaker::withdraw_origination(const net::Prefix& prefix, net::SimTime now) {
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end() || !it->second.local) return false;
+  it->second.local = false;
+  return run_decision(it->second, now);
+}
+
+bool Speaker::originates(const net::Prefix& prefix) const {
+  const auto it = rib_.find(prefix);
+  return it != rib_.end() && it->second.local;
+}
+
+bool Speaker::reevaluate(const net::Prefix& prefix, net::SimTime now) {
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end()) return false;
+  return run_decision(it->second, now);
+}
+
+bool Speaker::run_decision(PrefixState& state, net::SimTime now) {
+  std::vector<Route> candidates;
+  candidates.reserve(state.in.size() + 1);
+  if (state.local) {
+    Route local = make_local_route(state.prefix, state.local_since);
+    local.re_only = state.origination.re_only;
+    candidates.push_back(std::move(local));
+  }
+  for (const auto& [neighbor, route] : state.in) {
+    if (damping_.enabled) {
+      const auto dit = state.damping.find(neighbor);
+      if (dit != state.damping.end() && dit->second.suppressed(now, damping_)) {
+        continue;
+      }
+    }
+    candidates.push_back(route);
+  }
+  // Deterministic candidate order regardless of hash-map iteration.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Route& a, const Route& b) {
+              return a.learned_from < b.learned_from;
+            });
+
+  std::optional<Route> new_best;
+  DecisionStep decided = DecisionStep::kOnlyRoute;
+  if (!candidates.empty()) {
+    const DecisionResult result = select_best(candidates, decision_);
+    new_best = candidates[result.best_index];
+    decided = result.decided_by;
+  }
+
+  const bool changed = (state.best.has_value() != new_best.has_value()) ||
+                       (state.best && new_best &&
+                        !same_route_content(*state.best, *new_best));
+  state.best = std::move(new_best);
+  state.decided_by = decided;
+  return changed;
+}
+
+const Route* Speaker::best(const net::Prefix& prefix) const {
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end() || !it->second.best) return nullptr;
+  return &*it->second.best;
+}
+
+DecisionStep Speaker::best_decided_by(const net::Prefix& prefix) const {
+  const auto it = rib_.find(prefix);
+  return it == rib_.end() ? DecisionStep::kOnlyRoute : it->second.decided_by;
+}
+
+const Route* Speaker::best_commodity(const net::Prefix& prefix) const {
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end()) return nullptr;
+  const Route* best = nullptr;
+  std::vector<const Route*> commodity;
+  for (const auto& [neighbor, route] : it->second.in) {
+    if (!route.re_edge) commodity.push_back(&route);
+  }
+  std::sort(commodity.begin(), commodity.end(),
+            [](const Route* a, const Route* b) {
+              return a->learned_from < b->learned_from;
+            });
+  for (const Route* route : commodity) {
+    if (best == nullptr || better_route(*route, *best, decision_)) best = route;
+  }
+  return best;
+}
+
+std::vector<Route> Speaker::candidates(const net::Prefix& prefix) const {
+  std::vector<Route> out;
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end()) return out;
+  // Damping state mutates lazily; expose the undamped view plus local.
+  if (it->second.local) {
+    Route local = make_local_route(prefix, it->second.local_since);
+    local.re_only = it->second.origination.re_only;
+    out.push_back(std::move(local));
+  }
+  for (const auto& [neighbor, route] : it->second.in) out.push_back(route);
+  std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
+    return a.learned_from < b.learned_from;
+  });
+  return out;
+}
+
+std::vector<Route> Speaker::all_candidates(const net::Prefix& prefix) const {
+  return candidates(prefix);
+}
+
+std::optional<UpdateMessage> Speaker::eligible_announcement(
+    const Session& to, const net::Prefix& prefix) const {
+  const auto it = rib_.find(prefix);
+  if (it == rib_.end() || !it->second.best) return std::nullopt;
+  const Route& best = *it->second.best;
+
+  // Split horizon: never echo a route back to the neighbor it came from.
+  if (best.learned_from == to.neighbor) return std::nullopt;
+
+  const Session* learned_on =
+      best.learned_from.valid() ? session_to(best.learned_from) : nullptr;
+  if (best.learned_from.valid() && learned_on == nullptr) return std::nullopt;
+  if (!export_allowed(learned_on, to, re_transit_between_peers_)) {
+    return std::nullopt;
+  }
+
+  // R&E-fabric scoping: an re_only route never leaves the R&E fabric.
+  if (best.re_only && !to.re_edge) return std::nullopt;
+
+  // Origin-side announcement scoping (e.g. prefixes announced to R&E only).
+  if (!best.learned_from.valid()) {
+    const OriginationOptions& opt = it->second.origination;
+    if (to.re_edge ? !opt.to_re_sessions : !opt.to_commodity_sessions) {
+      return std::nullopt;
+    }
+  }
+
+  UpdateMessage msg;
+  msg.prefix = prefix;
+  msg.withdraw = false;
+  msg.origin = best.origin;
+  msg.med = 0;
+  msg.re_only = best.re_only;
+  msg.path = best.path.prepended(asn_, 1 + export_.prepends_for(to));
+  if (!export_.path_allowed(to.neighbor, msg.path)) return std::nullopt;
+  return msg;
+}
+
+std::optional<UpdateMessage> Speaker::export_to(const Session& to,
+                                                const net::Prefix& prefix) const {
+  if (auto announcement = eligible_announcement(to, prefix)) return announcement;
+  UpdateMessage withdraw;
+  withdraw.prefix = prefix;
+  withdraw.withdraw = true;
+  return withdraw;
+}
+
+void Speaker::clear_prefix(const net::Prefix& prefix) { rib_.erase(prefix); }
+
+std::vector<net::Prefix> Speaker::known_prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(rib_.size());
+  for (const auto& [prefix, state] : rib_) out.push_back(prefix);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace re::bgp

@@ -1,0 +1,164 @@
+// A per-AS BGP speaker: sessions, Adj-RIB-In, Loc-RIB, import/export.
+//
+// The model is AS-level: one speaker per AS, one route per (prefix,
+// neighbor), full RFC 4271 decision process over the candidates. This is
+// the granularity the paper reasons at (§3.4 notes policies can be finer
+// than per-session; the dataplane module layers the interconnect-router
+// confound on top).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/damping.h"
+#include "bgp/decision.h"
+#include "bgp/policy.h"
+#include "bgp/route.h"
+#include "bgp/rpki.h"
+#include "netbase/asn.h"
+#include "netbase/clock.h"
+#include "netbase/prefix.h"
+
+namespace re::bgp {
+
+// Per-prefix options controlling how the *origin* announces it.
+struct OriginationOptions {
+  bool to_re_sessions = true;
+  bool to_commodity_sessions = true;
+  // Announcement carries the R&E-fabric-only scope (see Route::re_only).
+  bool re_only = false;
+};
+
+class Speaker {
+ public:
+  explicit Speaker(net::Asn asn) : asn_(asn) {}
+
+  net::Asn asn() const noexcept { return asn_; }
+
+  DecisionConfig& decision() noexcept { return decision_; }
+  const DecisionConfig& decision() const noexcept { return decision_; }
+  ImportPolicy& import_policy() noexcept { return import_; }
+  const ImportPolicy& import_policy() const noexcept { return import_; }
+  ExportPolicy& export_policy() noexcept { return export_; }
+  const ExportPolicy& export_policy() const noexcept { return export_; }
+  DampingConfig& damping() noexcept { return damping_; }
+
+  // R&E backbone behaviour: re-export peer-NREN routes to other peer NRENs.
+  void set_re_transit_between_peers(bool value) noexcept {
+    re_transit_between_peers_ = value;
+  }
+  bool re_transit_between_peers() const noexcept {
+    return re_transit_between_peers_;
+  }
+
+  // Table 3 confound: this AS exports its commodity VRF to public
+  // collectors even when its actual forwarding prefers R&E routes.
+  void set_vrf_split_export(bool value) noexcept { vrf_split_export_ = value; }
+  bool vrf_split_export() const noexcept { return vrf_split_export_; }
+
+  // RPKI Route Origin Validation: when armed with a ROA table, routes
+  // that validate Invalid are dropped at import (an implicit withdraw of
+  // whatever the neighbor previously advertised). The table must outlive
+  // the speaker.
+  void enable_rov(const RoaTable* table) noexcept { rov_table_ = table; }
+  bool rov_enabled() const noexcept { return rov_table_ != nullptr; }
+
+  // --- Sessions ---------------------------------------------------------
+  void add_session(Session session);
+  const std::vector<Session>& sessions() const noexcept { return sessions_; }
+  const Session* session_to(net::Asn neighbor) const;
+
+  // The session carrying this AS's default route, if any.
+  const Session* default_route_session() const;
+
+  // Marks the session to `neighbor` as carrying this AS's default route.
+  void set_session_default_route(net::Asn neighbor);
+
+  // --- Route ingestion --------------------------------------------------
+
+  // Applies import policy to an update arriving from `neighbor`.
+  // Returns true if the Loc-RIB best route for the prefix changed.
+  bool receive(net::Asn neighbor, const UpdateMessage& update, net::SimTime now);
+
+  // Originates / withdraws a locally-owned prefix.
+  bool originate(const net::Prefix& prefix, net::SimTime now,
+                 OriginationOptions options = {});
+  bool withdraw_origination(const net::Prefix& prefix, net::SimTime now);
+  bool originates(const net::Prefix& prefix) const;
+
+  // Re-runs the decision process (e.g. after damping penalties decay).
+  // Returns true if the best route changed.
+  bool reevaluate(const net::Prefix& prefix, net::SimTime now);
+
+  // --- Loc-RIB queries ----------------------------------------------------
+  const Route* best(const net::Prefix& prefix) const;
+  DecisionStep best_decided_by(const net::Prefix& prefix) const;
+
+  // Best route considering only commodity-learned candidates (what a
+  // vrf_split_export AS shows a public collector).
+  const Route* best_commodity(const net::Prefix& prefix) const;
+
+  // All Adj-RIB-In candidates currently eligible for selection.
+  std::vector<Route> candidates(const net::Prefix& prefix) const;
+  // Including damping-suppressed ones.
+  std::vector<Route> all_candidates(const net::Prefix& prefix) const;
+
+  bool has_route(const net::Prefix& prefix) const { return best(prefix) != nullptr; }
+
+  // --- Export -------------------------------------------------------------
+
+  // The update this AS would currently send to `to` for `prefix`:
+  // an announcement (with prepending applied), a withdrawal
+  // (withdraw=true), or nullopt when nothing was ever advertised and
+  // nothing is eligible.
+  //
+  // Statless with respect to advertisement history; the network layer
+  // tracks what was previously sent and suppresses duplicates.
+  std::optional<UpdateMessage> export_to(const Session& to,
+                                         const net::Prefix& prefix) const;
+
+  // The announcement content toward `to` if eligible, nullopt otherwise.
+  std::optional<UpdateMessage> eligible_announcement(
+      const Session& to, const net::Prefix& prefix) const;
+
+  // --- Maintenance ----------------------------------------------------------
+  void clear_prefix(const net::Prefix& prefix);
+  std::vector<net::Prefix> known_prefixes() const;
+
+ private:
+  struct PrefixState {
+    net::Prefix prefix;
+    // One entry per neighbor that currently advertises the prefix to us.
+    std::unordered_map<net::Asn, Route> in;
+    bool local = false;
+    OriginationOptions origination;
+    net::SimTime local_since = 0;
+    std::optional<Route> best;
+    DecisionStep decided_by = DecisionStep::kOnlyRoute;
+    std::unordered_map<net::Asn, DampingState> damping;
+  };
+
+  // Recomputes `state.best`; returns true on change.
+  bool run_decision(PrefixState& state, net::SimTime now);
+
+  Route make_local_route(const net::Prefix& prefix, net::SimTime since) const;
+
+  net::Asn asn_;
+  DecisionConfig decision_;
+  ImportPolicy import_;
+  ExportPolicy export_;
+  DampingConfig damping_;
+  bool re_transit_between_peers_ = false;
+  bool vrf_split_export_ = false;
+  const RoaTable* rov_table_ = nullptr;
+
+  std::vector<Session> sessions_;
+  std::unordered_map<net::Asn, std::size_t> session_index_;
+  std::unordered_map<net::Prefix, PrefixState> rib_;
+};
+
+}  // namespace re::bgp

@@ -1,0 +1,58 @@
+// Public-view update log: what RouteViews / RIPE RIS would record.
+//
+// Collector peers are ordinary ASes that export their best route to a
+// collector session. Every announce/withdraw they emit toward the
+// collector is recorded with a timestamp — the raw material for Figure 3's
+// churn timeline and Table 3's congruence check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "netbase/asn.h"
+#include "netbase/clock.h"
+#include "netbase/prefix.h"
+
+namespace re::bgp {
+
+struct CollectorUpdate {
+  net::SimTime time = 0;
+  net::Asn peer;        // the AS feeding the collector
+  net::Prefix prefix;
+  bool withdraw = false;
+  AsPath path;          // empty for withdrawals
+};
+
+class UpdateLog {
+ public:
+  void record(CollectorUpdate update) { updates_.push_back(std::move(update)); }
+  void clear() { updates_.clear(); }
+
+  const std::vector<CollectorUpdate>& updates() const noexcept { return updates_; }
+  std::size_t size() const noexcept { return updates_.size(); }
+
+  // Updates for one prefix within [begin, end).
+  std::vector<CollectorUpdate> in_window(const net::Prefix& prefix,
+                                         net::SimTime begin,
+                                         net::SimTime end) const;
+
+  // Number of updates for `prefix` in [begin, end).
+  std::size_t count_in_window(const net::Prefix& prefix, net::SimTime begin,
+                              net::SimTime end) const;
+
+  // The last announced path per peer for `prefix` as of `at` (peers whose
+  // last message was a withdrawal are absent) — a RIB snapshot
+  // reconstructed from updates, as one does with RouteViews RIB+updates.
+  std::unordered_map<net::Asn, AsPath> rib_at(const net::Prefix& prefix,
+                                              net::SimTime at) const;
+
+ private:
+  std::vector<CollectorUpdate> updates_;
+};
+
+}  // namespace re::bgp

@@ -1,0 +1,76 @@
+#include "core/beacon.h"
+
+namespace re::core {
+
+BeaconRun run_beacon(bgp::BgpNetwork& network, const BeaconConfig& config,
+                     const std::vector<net::Asn>& observers) {
+  BeaconRun run;
+  run.config = config;
+  run.traces.resize(observers.size());
+  for (std::size_t i = 0; i < observers.size(); ++i) {
+    run.traces[i].observer = observers[i];
+  }
+
+  for (int cycle = 0; cycle < config.cycles; ++cycle) {
+    network.announce(config.origin, config.prefix);
+    network.run_to_convergence();
+    // Sample mid-way through the up phase. Damping penalties decay lazily,
+    // so re-run decisions before reading RIBs.
+    network.clock().advance(config.up / 2);
+    network.settle(config.prefix);
+    for (std::size_t i = 0; i < observers.size(); ++i) {
+      const bgp::Speaker* speaker = network.speaker(observers[i]);
+      run.traces[i].reachable_up.push_back(speaker != nullptr &&
+                                           speaker->has_route(config.prefix));
+    }
+    network.clock().advance(config.up / 2);
+
+    network.withdraw(config.origin, config.prefix);
+    network.run_to_convergence();
+    network.clock().advance(config.down);
+  }
+  return run;
+}
+
+std::string to_string(DampingVerdict v) {
+  switch (v) {
+    case DampingVerdict::kNotDamping: return "not-damping";
+    case DampingVerdict::kDamping: return "damping";
+    case DampingVerdict::kUnreachable: return "unreachable";
+    case DampingVerdict::kNoisy: return "noisy";
+  }
+  return "?";
+}
+
+DampingVerdict classify_damping(const BeaconTrace& trace) {
+  bool any = false, all = true;
+  for (const bool up : trace.reachable_up) {
+    any |= up;
+    all &= up;
+  }
+  if (!any) return DampingVerdict::kUnreachable;
+  if (all) return DampingVerdict::kNotDamping;
+  // The damping signature: a reachable prefix (first cycle up) that goes
+  // dark at some cycle and never recovers within the run.
+  if (!trace.reachable_up.front()) return DampingVerdict::kNoisy;
+  bool dark = false;
+  for (const bool up : trace.reachable_up) {
+    if (dark && up) return DampingVerdict::kNoisy;  // recovered: not RFD hold
+    if (!up) dark = true;
+  }
+  return DampingVerdict::kDamping;
+}
+
+DampingSurvey summarize_damping(const BeaconRun& run) {
+  DampingSurvey survey;
+  for (const BeaconTrace& trace : run.traces) {
+    const DampingVerdict verdict = classify_damping(trace);
+    ++survey.counts[verdict];
+    if (verdict == DampingVerdict::kDamping) {
+      survey.damping_ases.push_back(trace.observer);
+    }
+  }
+  return survey;
+}
+
+}  // namespace re::core

@@ -1,0 +1,70 @@
+// BGP beacons and route-flap-damping detection.
+//
+// §3.3 paces the experiment to stay under RFD suppress times, citing Gray
+// et al. (2020), who located damping ASes by announcing/withdrawing beacon
+// prefixes on a fixed schedule and watching which vantage points stop
+// seeing the beacon. This module implements that methodology on the
+// simulator: a beacon scheduler driving periodic announce/withdraw cycles,
+// and a detector that classifies each observer AS as damping or not from
+// its reachability trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace re::core {
+
+struct BeaconConfig {
+  net::Prefix prefix = *net::Prefix::parse("192.0.2.0/24");
+  net::Asn origin;
+  int cycles = 6;
+  // Announce for `up` seconds, withdraw for `down` seconds per cycle. The
+  // classic RIPE beacon uses 2h/2h; damping studies use faster schedules
+  // to trip the penalty.
+  net::SimTime up = 4 * net::kMinute;
+  net::SimTime down = 4 * net::kMinute;
+};
+
+// Per-observer reachability across beacon cycles.
+struct BeaconTrace {
+  net::Asn observer;
+  // One entry per cycle: did the observer hold a route at the middle of
+  // the up phase?
+  std::vector<bool> reachable_up;
+};
+
+struct BeaconRun {
+  BeaconConfig config;
+  std::vector<BeaconTrace> traces;
+};
+
+// Drives the beacon schedule on `network`, sampling each observer's RIB.
+BeaconRun run_beacon(bgp::BgpNetwork& network, const BeaconConfig& config,
+                     const std::vector<net::Asn>& observers);
+
+// Classification: an AS that saw early cycles but went (and stayed) dark
+// in later up-phases is damping the beacon.
+enum class DampingVerdict : std::uint8_t {
+  kNotDamping,   // reachable in every up phase
+  kDamping,      // reachable early, dark from some cycle onward
+  kUnreachable,  // never saw the beacon (no path; not evidence of RFD)
+  kNoisy,        // intermittent without the damping signature
+};
+
+std::string to_string(DampingVerdict v);
+
+DampingVerdict classify_damping(const BeaconTrace& trace);
+
+struct DampingSurvey {
+  std::map<DampingVerdict, std::size_t> counts;
+  std::vector<net::Asn> damping_ases;
+};
+
+DampingSurvey summarize_damping(const BeaconRun& run);
+
+}  // namespace re::core

@@ -1,0 +1,79 @@
+#include "core/comparator.h"
+
+#include <unordered_map>
+
+namespace re::core {
+namespace {
+
+std::unordered_map<net::Prefix, const PrefixInference*> index_by_prefix(
+    const std::vector<PrefixInference>& inferences) {
+  std::unordered_map<net::Prefix, const PrefixInference*> out;
+  out.reserve(inferences.size());
+  for (const PrefixInference& p : inferences) out[p.prefix] = &p;
+  return out;
+}
+
+bool comparable_category(Inference i) {
+  return i == Inference::kAlwaysRe || i == Inference::kAlwaysCommodity ||
+         i == Inference::kSwitchToRe;
+}
+
+}  // namespace
+
+Table2 compare_experiments(const std::vector<PrefixInference>& first,
+                           const std::vector<PrefixInference>& second) {
+  Table2 table;
+  const auto second_index = index_by_prefix(second);
+  for (const PrefixInference& a : first) {
+    const auto it = second_index.find(a.prefix);
+    if (it == second_index.end()) continue;
+    const PrefixInference& b = *it->second;
+
+    if (a.inference == Inference::kExcludedLoss ||
+        b.inference == Inference::kExcludedLoss) {
+      ++table.loss;
+      continue;
+    }
+    if (a.inference == Inference::kMixed || b.inference == Inference::kMixed) {
+      ++table.mixed;
+      continue;
+    }
+    if (a.inference == Inference::kOscillating ||
+        b.inference == Inference::kOscillating) {
+      ++table.oscillating;
+      continue;
+    }
+    if (a.inference == Inference::kSwitchToCommodity ||
+        b.inference == Inference::kSwitchToCommodity) {
+      ++table.switch_to_commodity;
+      continue;
+    }
+    if (!comparable_category(a.inference) || !comparable_category(b.inference)) {
+      continue;  // defensive; nothing else should remain
+    }
+    ++table.cells[{a.inference, b.inference}];
+    if (a.inference == b.inference) {
+      ++table.same;
+    } else {
+      ++table.different;
+    }
+  }
+  return table;
+}
+
+std::vector<std::pair<const PrefixInference*, const PrefixInference*>>
+switching_in_both(const std::vector<PrefixInference>& first,
+                  const std::vector<PrefixInference>& second) {
+  std::vector<std::pair<const PrefixInference*, const PrefixInference*>> out;
+  const auto second_index = index_by_prefix(second);
+  for (const PrefixInference& a : first) {
+    if (a.inference != Inference::kSwitchToRe) continue;
+    const auto it = second_index.find(a.prefix);
+    if (it == second_index.end()) continue;
+    if (it->second->inference != Inference::kSwitchToRe) continue;
+    out.emplace_back(&a, it->second);
+  }
+  return out;
+}
+
+}  // namespace re::core

@@ -1,0 +1,53 @@
+// Cross-experiment comparison (Table 2): how stable are the inferences
+// across the SURF and Internet2 experiments run a week apart with the same
+// probe seeds?
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/classifier.h"
+
+namespace re::core {
+
+struct Table2 {
+  // Incomparable prefixes, by reason (a prefix can only be counted once;
+  // reasons are checked in this order, matching the paper's accounting).
+  std::size_t loss = 0;         // packet loss in either experiment
+  std::size_t mixed = 0;        // mixed in either
+  std::size_t oscillating = 0;  // oscillating in either
+  std::size_t switch_to_commodity = 0;  // switch-to-commodity in either
+  std::size_t incomparable() const {
+    return loss + mixed + oscillating + switch_to_commodity;
+  }
+
+  // Cross-tab over comparable prefixes (categories limited to Always R&E /
+  // Always commodity / Switch to R&E). Key = (first, second) inference.
+  std::map<std::pair<Inference, Inference>, std::size_t> cells;
+
+  std::size_t same = 0;
+  std::size_t different = 0;
+  std::size_t comparable() const { return same + different; }
+
+  std::size_t cell(Inference a, Inference b) const {
+    const auto it = cells.find({a, b});
+    return it == cells.end() ? 0 : it->second;
+  }
+};
+
+// Joins two experiments' per-prefix inferences by prefix. Prefixes seen in
+// only one experiment are ignored (both runs use the same seeds, so this
+// only happens in custom setups).
+Table2 compare_experiments(const std::vector<PrefixInference>& first,
+                           const std::vector<PrefixInference>& second);
+
+// Prefixes inferred Switch-to-R&E in BOTH experiments (the Figure 8
+// population).
+std::vector<std::pair<const PrefixInference*, const PrefixInference*>>
+switching_in_both(const std::vector<PrefixInference>& first,
+                  const std::vector<PrefixInference>& second);
+
+}  // namespace re::core

@@ -1,0 +1,213 @@
+#include "core/experiment.h"
+
+#include <unordered_map>
+
+#include "dataplane/return_path.h"
+#include "netbase/rng.h"
+
+namespace re::core {
+
+std::string to_string(ReExperiment e) {
+  return e == ReExperiment::kSurf ? "SURF (May 2025)" : "Internet2 (June 2025)";
+}
+
+std::vector<PrependConfig> paper_schedule() {
+  return {{4, 0}, {3, 0}, {2, 0}, {1, 0}, {0, 0},
+          {0, 1}, {0, 2}, {0, 3}, {0, 4}};
+}
+
+ExperimentResult ExperimentController::run() {
+  ExperimentResult result;
+  result.experiment = config_.experiment;
+  result.measurement_prefix = ecosystem_.measurement().prefix;
+  result.commodity_origin = ecosystem_.measurement().commodity_origin;
+  result.commodity_vlan = kCommodityVlan;
+  if (config_.experiment == ReExperiment::kSurf) {
+    result.re_origin = ecosystem_.measurement().surf_re_origin;
+    result.re_vlan = kSurfReVlan;
+  } else {
+    result.re_origin = ecosystem_.measurement().internet2_re_origin;
+    result.re_vlan = kInternet2ReVlan;
+  }
+
+  net::Rng rng(config_.seed);
+  bgp::BgpNetwork network(config_.seed ^ 0x5eedULL);
+  ecosystem_.build_network(network);
+
+  // Week-specific connectivity churn: a handful of members lose their
+  // primary R&E session for this experiment's duration (provider or
+  // peering changes between the two measurement dates).
+  for (const net::Asn member : ecosystem_.members()) {
+    if (!rng.chance(config_.p_week_variation)) continue;
+    const topo::AsRecord* r = ecosystem_.directory().find(member);
+    if (r->re_providers.empty() ||
+        (!r->traits.has_commodity && !r->traits.default_route_commodity)) {
+      continue;  // dropping the only connectivity would just mean loss
+    }
+    network.speaker(member)->import_policy().reject_neighbors.push_back(
+        r->re_providers.front());
+  }
+
+  // Measurement host (Figure 2): the VLAN a response arrives on is keyed
+  // by the announcement endpoint the walk terminates at.
+  probing::MeasurementHost host(
+      result.measurement_prefix.address_at(63));  // 163.253.63.63
+  host.add_interface({result.commodity_vlan, "ens3f1np1.18", false,
+                      result.commodity_origin});
+  host.add_interface({result.re_vlan,
+                      config_.experiment == ReExperiment::kSurf
+                          ? "ens3f1np1.1001"
+                          : "ens3f1np1.17",
+                      true, result.re_origin});
+
+  const net::Prefix meas = result.measurement_prefix;
+
+  // Commodity announcement exists well before the experiment (§3.1).
+  network.announce(result.commodity_origin, meas);
+  network.run_to_convergence();
+  network.clock().advance(net::kHour);
+
+  // R&E announcement starts at the first configuration's prepend level,
+  // one hour before the first probing round, scoped to the R&E fabric.
+  {
+    bgp::Speaker* origin = network.speaker(result.re_origin);
+    origin->export_policy().default_prepend = config_.schedule.front().re;
+    bgp::OriginationOptions options;
+    options.re_only = true;
+    network.announce(result.re_origin, meas, options);
+    network.run_to_convergence();
+  }
+  result.experiment_start = network.clock().now();
+
+  // Per-prefix flaky round (packet-loss model).
+  std::unordered_map<net::Prefix, int> flaky_round;
+  for (const probing::PrefixSeeds& s : seeds_) {
+    if (rng.chance(config_.p_prefix_flaky)) {
+      flaky_round[s.prefix] =
+          static_cast<int>(rng.below(config_.schedule.size()));
+    }
+  }
+
+  // Outage plants: R&E-preferring members losing their R&E session.
+  std::vector<dataplane::OutagePlan> outages = config_.outages;
+  if (outages.empty() && config_.auto_plant_outages) {
+    int planted = 0;
+    const int rounds = static_cast<int>(config_.schedule.size());
+    for (const net::Asn member : ecosystem_.members()) {
+      if (planted >= config_.auto_outage_count) break;
+      const topo::AsRecord* r = ecosystem_.directory().find(member);
+      if (r->traits.stance != bgp::ReStance::kPreferRe ||
+          r->traits.reject_re_routes || !r->traits.has_commodity ||
+          r->re_providers.empty() ||
+          ecosystem_.prefixes_of(member).size() > 3 || !rng.chance(0.02)) {
+        continue;  // outages hit small origins, as in the paper (1-3 prefixes)
+      }
+      dataplane::OutagePlan plan;
+      plan.as = member;
+      plan.re_neighbor = r->re_providers.front();
+      if (planted == 0) {
+        // Persistent outage: reverts to commodity and stays (the §4
+        // "Switch to commodity" case).
+        plan.from_round = rounds - 3;
+        plan.to_round = rounds;
+      } else {
+        // Transient outage: R&E -> commodity -> R&E (Oscillating).
+        plan.from_round = 2 + static_cast<int>(rng.below(3));
+        plan.to_round = plan.from_round;
+      }
+      outages.push_back(plan);
+      ++planted;
+    }
+  }
+  dataplane::OutageInjector injector(std::move(outages));
+
+  // Observation storage parallel to seeds.
+  result.observations.reserve(seeds_.size());
+  for (const probing::PrefixSeeds& s : seeds_) {
+    PrefixObservation obs;
+    obs.prefix = s.prefix;
+    obs.origin = s.origin;
+    if (const topo::AsRecord* r = ecosystem_.directory().find(s.origin)) {
+      obs.side = r->side;
+    }
+    result.observations.push_back(std::move(obs));
+  }
+
+  dataplane::ReturnPathResolver resolver(
+      network, meas, {result.commodity_origin, result.re_origin});
+  probing::Prober prober(config_.prober, config_.seed ^ 0x9e3779b9ULL);
+
+  for (std::size_t round = 0; round < config_.schedule.size(); ++round) {
+    const PrependConfig& cfg = config_.schedule[round];
+    RoundWindow window;
+    window.round = static_cast<int>(round);
+    window.config = cfg;
+
+    if (round > 0) {
+      // Apply the configuration delta (§3.3: changed immediately after the
+      // previous probing round).
+      network.set_origin_prepend(result.re_origin, meas, cfg.re);
+      network.set_origin_prepend(result.commodity_origin, meas, cfg.comm);
+    }
+    window.config_applied = network.clock().now();
+    if (config_.full_convergence) {
+      const bgp::ConvergenceStats stats = network.run_to_convergence();
+      window.converged_at = stats.converged_at;
+      // Probe one hour after the change.
+      network.clock().advance_to(window.config_applied +
+                                 config_.convergence_wait);
+    } else {
+      // Deliver only what would have arrived by probe time; the rest stays
+      // in flight and the probes see a half-converged network.
+      const net::SimTime probe_at =
+          window.config_applied + config_.convergence_wait;
+      network.run_until(probe_at);
+      network.clock().advance_to(probe_at);
+      window.converged_at = network.clock().now();
+    }
+
+    injector.apply(network, meas, static_cast<int>(round));
+
+    window.probe_start = network.clock().now();
+    const int flaky_check = static_cast<int>(round);
+    const probing::TargetResolver target_resolver =
+        [&](const probing::PrefixSeeds& seeds,
+            const probing::ProbeTarget& target) -> std::optional<int> {
+      if (const auto it = flaky_round.find(seeds.prefix);
+          it != flaky_round.end() && it->second == flaky_check) {
+        return std::nullopt;
+      }
+      const net::Asn from = target.routes_via.value_or(seeds.origin);
+      // §3.4: a per-prefix egress stance applies to the origin's own
+      // systems; interconnect addresses follow their owner's routing.
+      const dataplane::ReturnPath path =
+          (seeds.stance_override.has_value() && !target.routes_via.has_value())
+              ? resolver.resolve_with_stance(from, *seeds.stance_override)
+              : resolver.resolve(from);
+      if (!path.reachable) return std::nullopt;
+      const probing::VlanInterface* iface =
+          host.interface_for_terminal(path.terminal);
+      return iface == nullptr ? std::nullopt
+                              : std::optional<int>(iface->vlan_id);
+    };
+    probing::RoundResult round_result =
+        prober.run_round(seeds_, target_resolver, network.clock());
+    window.probe_end = network.clock().now();
+
+    for (std::size_t i = 0; i < round_result.prefixes.size(); ++i) {
+      result.observations[i].rounds.push_back(
+          std::move(round_result.prefixes[i]));
+    }
+    result.windows.push_back(window);
+
+    if (cfg.re == 0 && cfg.comm == 0) {
+      result.re_phase_end = network.clock().now();
+    }
+  }
+
+  result.experiment_end = network.clock().now();
+  result.update_log = network.update_log();
+  return result;
+}
+
+}  // namespace re::core

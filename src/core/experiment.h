@@ -1,0 +1,139 @@
+// The measurement experiment of §3: announce the measurement prefix via
+// R&E and commodity simultaneously, step through the nine prepend
+// configurations, probe every seeded prefix after each change, and record
+// which VLAN responses arrive on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/network.h"
+#include "bgp/update_log.h"
+#include "dataplane/outage.h"
+#include "netbase/clock.h"
+#include "probing/host.h"
+#include "probing/prober.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+
+// Which R&E network originates the R&E route (§3.3).
+enum class ReExperiment : std::uint8_t { kSurf, kInternet2 };
+
+std::string to_string(ReExperiment e);
+
+// One prepend configuration "R-C": extra copies of the R&E origin's ASN
+// and of the commodity origin's ASN.
+struct PrependConfig {
+  std::uint32_t re = 0;
+  std::uint32_t comm = 0;
+
+  std::string label() const {
+    return std::to_string(re) + "-" + std::to_string(comm);
+  }
+  friend bool operator==(const PrependConfig&, const PrependConfig&) = default;
+};
+
+// The paper's schedule: decrease R&E prepends, then increase commodity
+// prepends, minimizing the variables changing between tests.
+std::vector<PrependConfig> paper_schedule();
+
+struct ExperimentConfig {
+  ReExperiment experiment = ReExperiment::kInternet2;
+  std::vector<PrependConfig> schedule = paper_schedule();
+
+  // Wait after each configuration change before probing (§3.3: one hour,
+  // to stay under route-flap-damping suppress times).
+  net::SimTime convergence_wait = net::kHour;
+
+  // When false, probing starts `convergence_wait` after the change even if
+  // BGP has not converged — updates scheduled later stay in flight. The
+  // ablation counterpart of the paper's deliberate pacing.
+  bool full_convergence = true;
+
+  probing::ProberConfig prober;
+
+  // Probability that a prefix's systems all go dark for one random round
+  // (the packet-loss exclusions of Table 1/2).
+  double p_prefix_flaky = 0.010;
+
+  // Outage plants producing the Switch-to-commodity / Oscillating rows.
+  // When empty and auto_plant_outages is set, the controller plants
+  // auto_outage_count of them on R&E-preferring members.
+  std::vector<dataplane::OutagePlan> outages;
+  bool auto_plant_outages = true;
+  int auto_outage_count = 3;
+
+  // Probability that a member's R&E connectivity differs this week
+  // (provider/peering churn between the two experiment dates — the source
+  // of Table 2's non-NIKS difference rows).
+  double p_week_variation = 0.005;
+
+  std::uint64_t seed = 99;
+};
+
+// The probing/announcement timeline of one configuration (Figure 3's
+// grey bars and change points).
+struct RoundWindow {
+  int round = 0;
+  PrependConfig config;
+  net::SimTime config_applied = 0;
+  net::SimTime converged_at = 0;
+  net::SimTime probe_start = 0;
+  net::SimTime probe_end = 0;
+};
+
+// Everything observed for one prefix across all rounds.
+struct PrefixObservation {
+  net::Prefix prefix;
+  net::Asn origin;
+  topo::ReSide side = topo::ReSide::kParticipant;
+  std::vector<probing::PrefixRoundResult> rounds;
+};
+
+struct ExperimentResult {
+  ReExperiment experiment = ReExperiment::kInternet2;
+  net::Prefix measurement_prefix;
+  net::Asn re_origin;          // 1125 (SURF) or 11537 (Internet2)
+  net::Asn commodity_origin;   // 396955
+  int re_vlan = 0, commodity_vlan = 0;
+
+  std::vector<RoundWindow> windows;
+  std::vector<PrefixObservation> observations;
+
+  // Public-view updates recorded over the whole experiment (Figure 3,
+  // Table 3). Copied out of the network at completion.
+  bgp::UpdateLog update_log;
+
+  // Phase boundaries: [experiment_start, re_phase_end) varies R&E
+  // prepends; [re_phase_end, experiment_end) varies commodity prepends.
+  net::SimTime experiment_start = 0;
+  net::SimTime re_phase_end = 0;
+  net::SimTime experiment_end = 0;
+};
+
+// Runs one experiment end to end on a freshly built network.
+class ExperimentController {
+ public:
+  ExperimentController(const topo::Ecosystem& ecosystem,
+                       const std::vector<probing::PrefixSeeds>& seeds,
+                       ExperimentConfig config)
+      : ecosystem_(ecosystem), seeds_(seeds), config_(std::move(config)) {}
+
+  ExperimentResult run();
+
+  // VLAN numbering from Figure 2.
+  static constexpr int kCommodityVlan = 18;
+  static constexpr int kInternet2ReVlan = 17;
+  static constexpr int kSurfReVlan = 1001;
+
+ private:
+  const topo::Ecosystem& ecosystem_;
+  const std::vector<probing::PrefixSeeds>& seeds_;
+  ExperimentConfig config_;
+};
+
+}  // namespace re::core

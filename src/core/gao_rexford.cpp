@@ -1,0 +1,131 @@
+#include "core/gao_rexford.h"
+
+namespace re::core {
+
+std::string to_string(GaoRexfordClass c) {
+  switch (c) {
+    case GaoRexfordClass::kConforms: return "conforms";
+    case GaoRexfordClass::kPeerProviderEqual: return "peer==provider";
+    case GaoRexfordClass::kCustomerPeerEqual: return "customer==peer";
+    case GaoRexfordClass::kViolates: return "violates";
+    case GaoRexfordClass::kTrivial: return "trivial";
+  }
+  return "?";
+}
+
+GaoRexfordAsReport classify_gao_rexford(const bgp::Speaker& speaker) {
+  GaoRexfordAsReport report;
+  report.asn = speaker.asn();
+
+  // Representative localpref per neighbor class: the maximum the import
+  // policy assigns across sessions of that class (operators publishing
+  // looking-glass values show per-class defaults; overrides appear as the
+  // spread the studies noted).
+  for (const bgp::Session& session : speaker.sessions()) {
+    const std::uint32_t pref = speaker.import_policy().local_pref_for(session);
+    switch (session.relationship) {
+      case bgp::Relationship::kCustomer:
+        report.has_customers = true;
+        report.customer_pref = std::max(report.customer_pref, pref);
+        break;
+      case bgp::Relationship::kPeer:
+        report.has_peers = true;
+        report.peer_pref = std::max(report.peer_pref, pref);
+        break;
+      case bgp::Relationship::kProvider:
+        report.has_providers = true;
+        report.provider_pref = std::max(report.provider_pref, pref);
+        break;
+    }
+  }
+
+  const int classes = (report.has_customers ? 1 : 0) +
+                      (report.has_peers ? 1 : 0) +
+                      (report.has_providers ? 1 : 0);
+  if (classes < 2) {
+    report.classification = GaoRexfordClass::kTrivial;
+    return report;
+  }
+
+  // Pairwise comparisons over the classes that exist.
+  bool violated = false, peer_provider_equal = false, customer_peer_equal = false;
+  if (report.has_customers && report.has_peers) {
+    if (report.customer_pref < report.peer_pref) violated = true;
+    if (report.customer_pref == report.peer_pref) customer_peer_equal = true;
+  }
+  if (report.has_peers && report.has_providers) {
+    if (report.peer_pref < report.provider_pref) violated = true;
+    if (report.peer_pref == report.provider_pref) peer_provider_equal = true;
+  }
+  if (report.has_customers && report.has_providers &&
+      report.customer_pref < report.provider_pref) {
+    violated = true;
+  }
+
+  if (violated) {
+    report.classification = GaoRexfordClass::kViolates;
+  } else if (peer_provider_equal) {
+    report.classification = GaoRexfordClass::kPeerProviderEqual;
+  } else if (customer_peer_equal) {
+    report.classification = GaoRexfordClass::kCustomerPeerEqual;
+  } else {
+    report.classification = GaoRexfordClass::kConforms;
+  }
+  return report;
+}
+
+ReStanceSummary analyze_re_stance(const bgp::BgpNetwork& network,
+                                  const std::vector<net::Asn>& subset) {
+  ReStanceSummary summary;
+  for (const net::Asn asn : subset) {
+    const bgp::Speaker* speaker = network.speaker(asn);
+    if (speaker == nullptr) continue;
+    bool has_re = false, has_commodity = false;
+    std::uint32_t re_pref = 0, commodity_pref = 0;
+    for (const bgp::Session& session : speaker->sessions()) {
+      if (session.relationship != bgp::Relationship::kProvider) continue;
+      // A rejected class is configured out of the RIB entirely.
+      if (!speaker->import_policy().accepts(session)) continue;
+      const std::uint32_t pref = speaker->import_policy().local_pref_for(session);
+      if (session.re_edge) {
+        has_re = true;
+        re_pref = std::max(re_pref, pref);
+      } else {
+        has_commodity = true;
+        commodity_pref = std::max(commodity_pref, pref);
+      }
+    }
+    if (has_re && has_commodity) {
+      ++summary.dual_homed;
+      if (re_pref > commodity_pref) {
+        ++summary.re_higher;
+      } else if (re_pref == commodity_pref) {
+        ++summary.equal;
+      } else {
+        ++summary.commodity_higher;
+      }
+    } else if (has_re) {
+      ++summary.re_only;
+    } else if (has_commodity) {
+      ++summary.commodity_only;
+    }
+  }
+  return summary;
+}
+
+GaoRexfordSummary analyze_gao_rexford(const bgp::BgpNetwork& network,
+                                      const std::vector<net::Asn>& subset) {
+  GaoRexfordSummary summary;
+  const std::vector<net::Asn> targets =
+      subset.empty() ? network.asns() : subset;
+  for (const net::Asn asn : targets) {
+    const bgp::Speaker* speaker = network.speaker(asn);
+    if (speaker == nullptr) continue;
+    GaoRexfordAsReport report = classify_gao_rexford(*speaker);
+    ++summary.counts[report.classification];
+    summary.per_as.push_back(std::move(report));
+  }
+  return summary;
+}
+
+}  // namespace re::core

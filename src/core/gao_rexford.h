@@ -1,0 +1,89 @@
+// Gao-Rexford conformance analysis (§2.2 background reproduction).
+//
+// Wang & Gao (2003) and Kastanakis et al. (2023) measured how closely
+// deployed localpref assignments follow the Gao-Rexford model
+// (customer > peer > provider) by reading looking glasses and IRR
+// records. Here the "looking glass" is each speaker's import policy: for
+// every AS we compare the localpref it assigns across its neighbor
+// classes and tabulate conformance, including the partial-equality cases
+// both studies call out (same localpref for peer/provider or
+// peer/customer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+
+namespace re::core {
+
+// Per-AS conformance classification.
+enum class GaoRexfordClass : std::uint8_t {
+  kConforms,            // customer > peer > provider strictly
+  kPeerProviderEqual,   // customer on top, but peer == provider
+  kCustomerPeerEqual,   // peer == customer (both above provider)
+  kViolates,            // some class pair strictly inverted
+  kTrivial,             // fewer than two neighbor classes: nothing to rank
+};
+
+std::string to_string(GaoRexfordClass c);
+
+struct GaoRexfordAsReport {
+  net::Asn asn;
+  GaoRexfordClass classification = GaoRexfordClass::kTrivial;
+  std::uint32_t customer_pref = 0, peer_pref = 0, provider_pref = 0;
+  bool has_customers = false, has_peers = false, has_providers = false;
+};
+
+struct GaoRexfordSummary {
+  std::vector<GaoRexfordAsReport> per_as;
+  std::map<GaoRexfordClass, std::size_t> counts;
+
+  std::size_t ranked() const {
+    std::size_t n = 0;
+    for (const auto& [cls, count] : counts) {
+      if (cls != GaoRexfordClass::kTrivial) n += count;
+    }
+    return n;
+  }
+  double conformance_rate() const {
+    const std::size_t n = ranked();
+    const auto it = counts.find(GaoRexfordClass::kConforms);
+    return n == 0 ? 0.0
+                  : static_cast<double>(it == counts.end() ? 0 : it->second) /
+                        static_cast<double>(n);
+  }
+};
+
+// Classifies one AS from its sessions and import policy. The effective
+// localpref per class is the policy's assignment for a representative
+// session of that class (per-neighbor overrides make this a range; the
+// class value is the median-free simple case the looking-glass studies
+// read off router configs).
+GaoRexfordAsReport classify_gao_rexford(const bgp::Speaker& speaker);
+
+// Runs the analysis over every AS in the network (optionally restricted
+// to `subset`).
+GaoRexfordSummary analyze_gao_rexford(const bgp::BgpNetwork& network,
+                                      const std::vector<net::Asn>& subset = {});
+
+// The paper's own dimension, read looking-glass-style: within the
+// provider class, how does an AS rank its R&E sessions against its
+// commodity sessions? This is the configured ground truth that the active
+// method infers remotely — comparing the two is the whole point of §4.1.
+struct ReStanceSummary {
+  std::size_t dual_homed = 0;       // ASes with both R&E and commodity providers
+  std::size_t re_higher = 0;        // localpref(R&E) > localpref(commodity)
+  std::size_t equal = 0;
+  std::size_t commodity_higher = 0;
+  std::size_t re_only = 0;          // no commodity provider sessions
+  std::size_t commodity_only = 0;   // no R&E provider sessions (or rejected)
+};
+
+ReStanceSummary analyze_re_stance(const bgp::BgpNetwork& network,
+                                  const std::vector<net::Asn>& subset);
+
+}  // namespace re::core

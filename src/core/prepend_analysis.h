@@ -1,0 +1,46 @@
+// Table 4: does origin-AS prepending align with inferred route preference?
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/rib_survey.h"
+
+namespace re::core {
+
+// Relative prepending of the origin toward R&E vs commodity neighbors, as
+// observed in public RIBs.
+enum class PrependClass : std::uint8_t {
+  kEqual,        // R = C
+  kMoreToComm,   // R < C (prepended more toward commodity)
+  kMoreToRe,     // R > C
+  kNoCommodity,  // no commodity-upstream path observed at all
+};
+
+std::string to_string(PrependClass c);
+
+struct Table4 {
+  // cells[prepend class][inference] = prefix count. Only the four
+  // inference rows the paper tabulates (Always R&E, Always commodity,
+  // Switch to R&E, Mixed).
+  std::map<PrependClass, std::map<Inference, std::size_t>> cells;
+  std::map<PrependClass, std::size_t> totals;
+
+  std::size_t cell(PrependClass c, Inference i) const;
+  double share(PrependClass c, Inference i) const;
+};
+
+// Classifies one origin's observed prepending.
+PrependClass classify_prepending(const OriginRibView& view);
+
+// Joins per-prefix inferences with the RIB survey. Prefixes with loss /
+// oscillating / switch-to-commodity inferences are skipped (the paper's
+// Table 4 rows cover the four dominant categories).
+Table4 build_table4(const std::vector<PrefixInference>& inferences,
+                    const RibSurveyResult& survey);
+
+}  // namespace re::core

@@ -1,0 +1,102 @@
+#include "core/relative_preference.h"
+
+#include "dataplane/return_path.h"
+
+namespace re::core {
+
+std::string to_string(RelativePreference p) {
+  switch (p) {
+    case RelativePreference::kAlwaysFirst: return "always-first";
+    case RelativePreference::kAlwaysSecond: return "always-second";
+    case RelativePreference::kLengthSensitive: return "length-sensitive";
+    case RelativePreference::kInconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+RelativePreference classify_sequence(const std::vector<int>& per_round_class,
+                                     std::optional<int>* switch_round) {
+  if (switch_round != nullptr) switch_round->reset();
+  if (per_round_class.empty()) return RelativePreference::kInconsistent;
+
+  bool any_none = false;
+  for (const int cls : per_round_class) any_none |= cls < 0;
+  if (any_none) return RelativePreference::kInconsistent;
+
+  if (switch_round != nullptr) {
+    for (std::size_t i = 0; i < per_round_class.size(); ++i) {
+      if (per_round_class[i] == 0) {
+        *switch_round = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+
+  int transitions = 0;
+  for (std::size_t i = 1; i < per_round_class.size(); ++i) {
+    transitions += per_round_class[i] != per_round_class[i - 1] ? 1 : 0;
+  }
+  if (transitions == 0) {
+    return per_round_class.front() == 0 ? RelativePreference::kAlwaysFirst
+                                        : RelativePreference::kAlwaysSecond;
+  }
+  // The schedule shortens the first class then lengthens the second, so an
+  // equal-localpref network makes exactly one second -> first transition.
+  if (transitions == 1 && per_round_class.front() == 1 &&
+      per_round_class.back() == 0) {
+    return RelativePreference::kLengthSensitive;
+  }
+  return RelativePreference::kInconsistent;
+}
+
+std::vector<RelativePreferenceResult> RelativePreferenceExperiment::run(
+    const std::vector<net::Asn>& tested) {
+  const net::Prefix prefix = config_.prefix;
+
+  // The second class exists first (the stable "commodity" role).
+  network_.announce(second_.origin, prefix);
+  network_.run_to_convergence();
+  network_.clock().advance(net::kHour);
+
+  bgp::Speaker* first_origin = network_.speaker(first_.origin);
+  first_origin->export_policy().default_prepend = config_.schedule.front().re;
+  bgp::OriginationOptions options;
+  options.re_only = first_.re_only_scope;
+  network_.announce(first_.origin, prefix, options);
+  network_.run_to_convergence();
+
+  dataplane::ReturnPathResolver resolver(network_, prefix,
+                                         {first_.origin, second_.origin});
+
+  std::vector<RelativePreferenceResult> results(tested.size());
+  for (std::size_t i = 0; i < tested.size(); ++i) {
+    results[i].tested_as = tested[i];
+  }
+
+  for (std::size_t round = 0; round < config_.schedule.size(); ++round) {
+    if (round > 0) {
+      network_.set_origin_prepend(first_.origin, prefix,
+                                  config_.schedule[round].re);
+      network_.set_origin_prepend(second_.origin, prefix,
+                                  config_.schedule[round].comm);
+      network_.run_to_convergence();
+    }
+    network_.clock().advance(net::kHour);
+    for (std::size_t i = 0; i < tested.size(); ++i) {
+      const dataplane::ReturnPath path = resolver.resolve(tested[i]);
+      int cls = -1;
+      if (path.reachable) {
+        cls = path.terminal == first_.origin ? 0 : 1;
+      }
+      results[i].per_round_class.push_back(cls);
+    }
+  }
+
+  for (RelativePreferenceResult& result : results) {
+    result.preference =
+        classify_sequence(result.per_round_class, &result.switch_round);
+  }
+  return results;
+}
+
+}  // namespace re::core

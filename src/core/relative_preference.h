@@ -1,0 +1,88 @@
+// Generalized relative route-preference inference (§5).
+//
+// The paper argues its method extends beyond R&E vs commodity: announce a
+// measurement prefix over two route classes (e.g. IXP peering vs tier-1
+// transit, Figure 6), step the prepend schedule, and classify each tested
+// AS by the interface its responses return on. This module captures that
+// shape once: two announcement endpoints with class labels, a set of
+// tested ASes, the §3.3 schedule, and the §4 classification — reusable for
+// any two-class preference question.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/network.h"
+#include "core/classifier.h"
+#include "core/experiment.h"
+#include "netbase/prefix.h"
+
+namespace re::core {
+
+// One of the two route classes under test.
+struct RouteClassEndpoint {
+  std::string label;       // e.g. "peer" / "provider"
+  net::Asn origin;         // announcement endpoint AS
+  std::uint32_t vlan = 0;  // interface responses of this class arrive on
+  bool re_only_scope = false;  // scope the announcement to re_edge sessions
+};
+
+// The relative preference inferred for one tested AS.
+enum class RelativePreference : std::uint8_t {
+  kAlwaysFirst,    // always returned via the first class
+  kAlwaysSecond,   // always returned via the second class
+  kLengthSensitive,  // switched once as prepends shifted: equal localpref
+  kInconsistent,   // oscillated / unreachable rounds
+};
+
+std::string to_string(RelativePreference p);
+
+struct RelativePreferenceResult {
+  net::Asn tested_as;
+  RelativePreference preference = RelativePreference::kInconsistent;
+  std::vector<int> per_round_class;  // 0 = first, 1 = second, -1 = none
+  std::optional<int> switch_round;   // first round on the first class
+};
+
+struct RelativePreferenceConfig {
+  std::vector<PrependConfig> schedule = paper_schedule();
+  net::Prefix prefix = *net::Prefix::parse("192.0.2.0/24");
+};
+
+// Runs the generalized experiment on an existing network. The first
+// endpoint plays the "R&E" role of the schedule (its prepends shrink
+// first), the second the "commodity" role. Tested ASes are probed by
+// resolving their return path after each configuration.
+class RelativePreferenceExperiment {
+ public:
+  RelativePreferenceExperiment(bgp::BgpNetwork& network,
+                               RouteClassEndpoint first,
+                               RouteClassEndpoint second,
+                               RelativePreferenceConfig config = {})
+      : network_(network),
+        first_(std::move(first)),
+        second_(std::move(second)),
+        config_(std::move(config)) {}
+
+  // Announces both classes, steps the schedule, and classifies each
+  // tested AS.
+  std::vector<RelativePreferenceResult> run(
+      const std::vector<net::Asn>& tested);
+
+  const RouteClassEndpoint& first() const noexcept { return first_; }
+  const RouteClassEndpoint& second() const noexcept { return second_; }
+
+ private:
+  bgp::BgpNetwork& network_;
+  RouteClassEndpoint first_, second_;
+  RelativePreferenceConfig config_;
+};
+
+// Classifies one per-round class sequence (exposed for testing).
+RelativePreference classify_sequence(const std::vector<int>& per_round_class,
+                                     std::optional<int>* switch_round);
+
+}  // namespace re::core

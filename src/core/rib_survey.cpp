@@ -1,0 +1,95 @@
+#include "core/rib_survey.h"
+
+#include <algorithm>
+
+namespace re::core {
+
+const OriginRibView* RibSurveyResult::find(net::Asn origin) const {
+  if (index_.empty()) {
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      index_[origins[i].origin.value()] = i;
+    }
+  }
+  const auto it = index_.find(origin.value());
+  return it == index_.end() ? nullptr : &origins[it->second];
+}
+
+namespace {
+
+// Counts the trailing origin run in a path and identifies the AS directly
+// above the origin. Returns (prepends beyond the first copy, upstream) or
+// nullopt when the path does not end in `origin` / has no upstream.
+std::optional<std::pair<std::uint32_t, net::Asn>> origin_run(
+    const bgp::AsPath& path, net::Asn origin) {
+  const auto& asns = path.asns();
+  if (asns.empty() || asns.back() != origin) return std::nullopt;
+  std::size_t run = 0;
+  for (auto it = asns.rbegin(); it != asns.rend() && *it == origin; ++it) ++run;
+  if (run >= asns.size()) return std::nullopt;  // origin-only path
+  const net::Asn upstream = asns[asns.size() - run - 1];
+  return std::make_pair(static_cast<std::uint32_t>(run - 1), upstream);
+}
+
+}  // namespace
+
+RibSurveyResult run_rib_survey(const topo::Ecosystem& ecosystem,
+                               std::uint64_t seed) {
+  RibSurveyResult result;
+  bgp::BgpNetwork network(seed);
+  ecosystem.build_network(network);
+
+  for (const net::Asn origin : ecosystem.members()) {
+    const auto prefixes = ecosystem.prefixes_of(origin);
+    const topo::PrefixRecord* representative = nullptr;
+    for (const topo::PrefixRecord* p : prefixes) {
+      if (!p->covered) {
+        representative = p;
+        break;
+      }
+    }
+    if (representative == nullptr) continue;
+
+    const topo::AsRecord* record = ecosystem.directory().find(origin);
+    bgp::OriginationOptions options;
+    options.to_commodity_sessions = record->traits.announce_to_commodity;
+    network.announce(origin, representative->prefix, options);
+    network.run_to_convergence();
+
+    OriginRibView view;
+    view.origin = origin;
+
+    // Collector RIBs: one path per collector peer.
+    for (const net::Asn peer : ecosystem.collector_peers()) {
+      const bgp::Speaker* speaker = network.speaker(peer);
+      const bgp::Route* best = speaker->best(representative->prefix);
+      if (best == nullptr) continue;
+      const auto run = origin_run(best->path, origin);
+      if (!run) continue;
+      const auto [prepends, upstream] = *run;
+      if (ecosystem.is_re_transit(upstream)) {
+        view.re_prepends = std::max(view.re_prepends.value_or(0), prepends);
+      } else {
+        view.comm_prepends = std::max(view.comm_prepends.value_or(0), prepends);
+      }
+    }
+
+    // The RIPE-like vantage's selected route.
+    if (const bgp::Speaker* ripe = network.speaker(ecosystem.ripe())) {
+      if (const bgp::Route* best = ripe->best(representative->prefix)) {
+        view.ripe_has_route = true;
+        view.ripe_via_re = best->re_edge;
+        view.ripe_first_hop = best->learned_from;
+      }
+    }
+
+    result.origins.push_back(view);
+
+    // clear_prefix drops the prefix's state everywhere (RIBs, queues,
+    // advertisement history) — a withdrawal wave would be pure overhead.
+    network.clear_prefix(representative->prefix);
+    network.update_log().clear();
+  }
+  return result;
+}
+
+}  // namespace re::core

@@ -1,0 +1,66 @@
+#include "core/route_selection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace re::core {
+
+Figure5 build_figure5(const topo::Ecosystem& ecosystem,
+                      const RibSurveyResult& survey, std::size_t min_ases) {
+  Figure5 fig;
+
+  struct RegionAcc {
+    std::unordered_set<net::Asn> ases;
+    std::unordered_set<net::Asn> via_re;
+  };
+  std::map<std::string, RegionAcc> by_country, by_state;
+
+  const std::unordered_set<std::string> europe(
+      [] {
+        auto v = topo::european_countries();
+        return std::unordered_set<std::string>(v.begin(), v.end());
+      }());
+
+  for (const OriginRibView& view : survey.origins) {
+    if (!view.ripe_has_route) continue;
+    const topo::AsRecord* record = ecosystem.directory().find(view.origin);
+    if (record == nullptr) continue;
+    const std::size_t prefix_count = ecosystem.prefixes_of(view.origin).size();
+    fig.prefixes_with_route += prefix_count;
+    ++fig.ases_with_route;
+    if (view.ripe_via_re) {
+      fig.prefixes_via_re += prefix_count;
+      ++fig.ases_via_re;
+    }
+
+    if (!record->us_state.empty()) {
+      RegionAcc& acc = by_state[record->us_state];
+      acc.ases.insert(view.origin);
+      if (view.ripe_via_re) acc.via_re.insert(view.origin);
+    } else if (!record->country.empty()) {
+      RegionAcc& acc = by_country[record->country];
+      acc.ases.insert(view.origin);
+      if (view.ripe_via_re) acc.via_re.insert(view.origin);
+    }
+  }
+
+  auto emit = [min_ases](const std::map<std::string, RegionAcc>& regions,
+                         std::vector<RegionShare>& out,
+                         const std::unordered_set<std::string>* filter) {
+    for (const auto& [region, acc] : regions) {
+      if (acc.ases.size() < min_ases) continue;
+      if (filter != nullptr && filter->count(region) == 0) continue;
+      out.push_back(RegionShare{region, acc.ases.size(), acc.via_re.size()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RegionShare& a, const RegionShare& b) {
+                return a.share() != b.share() ? a.share() > b.share()
+                                              : a.region < b.region;
+              });
+  };
+  emit(by_country, fig.europe, &europe);
+  emit(by_state, fig.us_states, nullptr);
+  return fig;
+}
+
+}  // namespace re::core

@@ -1,0 +1,40 @@
+// Figure 5: how an equal-localpref, R&E-connected vantage (RIPE) actually
+// reaches R&E prefixes, aggregated per European country and U.S. state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rib_survey.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+
+struct RegionShare {
+  std::string region;       // country code or US state code
+  std::size_t ases = 0;     // geolocated R&E ASes in the region
+  std::size_t via_re = 0;   // ASes with >= 1 prefix reached over R&E
+  double share() const {
+    return ases == 0 ? 0.0
+                     : static_cast<double>(via_re) / static_cast<double>(ases);
+  }
+};
+
+struct Figure5 {
+  std::vector<RegionShare> europe;     // per country (>= min_ases)
+  std::vector<RegionShare> us_states;  // per state (>= min_ases)
+
+  std::size_t prefixes_with_route = 0;
+  std::size_t prefixes_via_re = 0;
+  std::size_t ases_with_route = 0;
+  std::size_t ases_via_re = 0;  // ASes with >= 1 prefix via R&E
+};
+
+// Aggregates the RIB survey per region. Regions with fewer than `min_ases`
+// geolocated ASes are omitted (the paper requires at least four).
+Figure5 build_figure5(const topo::Ecosystem& ecosystem,
+                      const RibSurveyResult& survey, std::size_t min_ases = 4);
+
+}  // namespace re::core

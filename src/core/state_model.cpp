@@ -1,0 +1,146 @@
+#include "core/state_model.h"
+
+#include <cstdio>
+
+#include "bgp/network.h"
+
+namespace re::core {
+
+std::vector<SelectedRoute> predict_selection(
+    const StateModelConfig& config,
+    const std::vector<PrependConfig>& schedule) {
+  std::vector<SelectedRoute> out;
+  out.reserve(schedule.size());
+
+  // Logical route ages: the step index at which each route last changed.
+  // The commodity route exists before the experiment (age -2 or -1); the
+  // R&E route is announced fresh at step 0 unless it predates the run.
+  int re_reset = config.re_older_at_start ? -2 : 0;
+  int comm_reset = config.re_older_at_start ? -1 : -2;
+
+  PrependConfig previous = schedule.front();
+  for (std::size_t step = 0; step < schedule.size(); ++step) {
+    const PrependConfig& cfg = schedule[step];
+    if (step > 0) {
+      if (cfg.re != previous.re) re_reset = static_cast<int>(step);
+      if (cfg.comm != previous.comm) comm_reset = static_cast<int>(step);
+      previous = cfg;
+    }
+
+    SelectedRoute selected = SelectedRoute::kCommodity;
+    // Lengths relative to each other: re_len - comm_len
+    const int delta = static_cast<int>(cfg.re) - static_cast<int>(cfg.comm) -
+                      config.re_advantage;
+    if (config.use_path_length && delta != 0) {
+      selected = delta < 0 ? SelectedRoute::kRe : SelectedRoute::kCommodity;
+    } else {
+      // Tie (or path length ignored): route age or arbitrary tie-break.
+      switch (config.use_path_length ? config.tie_break : TieBreak::kRouteAge) {
+        case TieBreak::kRouteAge:
+          selected = re_reset < comm_reset ? SelectedRoute::kRe
+                                           : SelectedRoute::kCommodity;
+          break;
+        case TieBreak::kArbitraryRe:
+          selected = SelectedRoute::kRe;
+          break;
+        case TieBreak::kArbitraryCommodity:
+          selected = SelectedRoute::kCommodity;
+          break;
+      }
+    }
+    out.push_back(selected);
+  }
+  return out;
+}
+
+std::vector<SelectedRoute> simulate_selection(
+    int re_chain, int comm_chain, bool use_path_length, bool use_route_age,
+    const std::vector<PrependConfig>& schedule, std::uint64_t seed) {
+  bgp::BgpNetwork network(seed);
+  const net::Asn re_origin{100};
+  const net::Asn comm_origin{200};
+  const net::Asn x{42};
+  const net::Prefix prefix = *net::Prefix::parse("192.0.2.0/24");
+
+  // Build X -- re chain -- re_origin and X -- comm chain -- comm_origin.
+  auto build_chain = [&](net::Asn origin, int length, std::uint32_t base,
+                         bool re_edge) {
+    net::Asn below = origin;
+    for (int i = 0; i < length; ++i) {
+      const net::Asn hop{base + static_cast<std::uint32_t>(i)};
+      network.connect_transit(hop, below, re_edge);
+      below = hop;
+    }
+    network.connect_transit(below, x, re_edge);  // X is the chain's customer
+  };
+  build_chain(re_origin, re_chain, 1000, /*re_edge=*/true);
+  build_chain(comm_origin, comm_chain, 2000, /*re_edge=*/false);
+
+  bgp::Speaker* speaker = network.speaker(x);
+  speaker->import_policy().re_stance = bgp::ReStance::kEqualPref;
+  speaker->decision().use_as_path_length = use_path_length;
+  speaker->decision().use_route_age = use_route_age;
+
+  // Commodity exists first; R&E starts at the first configuration.
+  network.announce(comm_origin, prefix);
+  network.run_to_convergence();
+  network.clock().advance(net::kHour);
+  network.speaker(re_origin)->export_policy().default_prepend =
+      schedule.front().re;
+  bgp::OriginationOptions options;
+  options.re_only = true;
+  network.announce(re_origin, prefix, options);
+  network.run_to_convergence();
+
+  std::vector<SelectedRoute> out;
+  for (std::size_t step = 0; step < schedule.size(); ++step) {
+    if (step > 0) {
+      network.set_origin_prepend(re_origin, prefix, schedule[step].re);
+      network.set_origin_prepend(comm_origin, prefix, schedule[step].comm);
+      network.run_to_convergence();
+    }
+    network.clock().advance(net::kHour);
+    const bgp::Route* best = network.speaker(x)->best(prefix);
+    out.push_back(best != nullptr && best->re_edge ? SelectedRoute::kRe
+                                                   : SelectedRoute::kCommodity);
+  }
+  return out;
+}
+
+std::string render_figure7(const std::vector<PrependConfig>& schedule) {
+  std::string out = "case  ";
+  for (const PrependConfig& c : schedule) {
+    out += c.label() + " ";
+  }
+  out += "\n";
+
+  auto emit = [&](const char* label, const StateModelConfig& config) {
+    out += label;
+    out += "    ";
+    for (const SelectedRoute r : predict_selection(config, schedule)) {
+      out += (r == SelectedRoute::kRe ? " R  " : " C  ");
+    }
+    out += "\n";
+  };
+
+  // Cases A..I: R&E shorter by 4 ... longer by 4, route-age tie-break.
+  const char* labels = "ABCDEFGHI";
+  for (int i = 0; i < 9; ++i) {
+    StateModelConfig config;
+    config.re_advantage = 4 - i;
+    const char label[2] = {labels[i], '\0'};
+    emit(label, config);
+  }
+  // Case J: path length ignored, oldest route wins. Two rows for the two
+  // possible initial age orders.
+  {
+    StateModelConfig config;
+    config.use_path_length = false;
+    emit("J", config);
+    config.re_older_at_start = true;
+    emit("J'", config);
+  }
+  return out;
+}
+
+}  // namespace re::core

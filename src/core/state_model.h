@@ -1,0 +1,54 @@
+// Figure 7 / Appendix A: the interplay of AS-path prepending order and
+// route age for a network that assigns equal localpref to its R&E and
+// commodity routes.
+//
+// Two implementations of the same question — an analytic state model and a
+// micro-simulation on a real BgpNetwork — which the tests cross-check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace re::core {
+
+enum class SelectedRoute : std::uint8_t { kRe, kCommodity };
+
+// How a network with equal localpref breaks remaining ties.
+enum class TieBreak : std::uint8_t {
+  kRouteAge,          // prefer the oldest route (Appendix A diagrams)
+  kArbitraryRe,       // deterministic router-id comparison favouring R&E
+  kArbitraryCommodity // ... favouring commodity
+};
+
+struct StateModelConfig {
+  // Base AS-path advantage of the R&E route at configuration 0-0:
+  // commodity length minus R&E length. Cases A..I are +4..-4.
+  int re_advantage = 0;
+
+  bool use_path_length = true;  // false for case J
+  TieBreak tie_break = TieBreak::kRouteAge;
+
+  // Case J row 2: the R&E route predates the experiment, so it starts
+  // older than the commodity route. Row 1 (the default) has the
+  // commodity route older, since the R&E announcement begins fresh.
+  bool re_older_at_start = false;
+};
+
+// Predicts the route selected in each probing window of `schedule`.
+std::vector<SelectedRoute> predict_selection(
+    const StateModelConfig& config, const std::vector<PrependConfig>& schedule);
+
+// Runs the same scenario on a real micro-topology: a single equal-localpref
+// network X with an R&E provider chain of `re_chain` intermediate ASes and
+// a commodity chain of `comm_chain` ASes, stepping through `schedule`.
+std::vector<SelectedRoute> simulate_selection(
+    int re_chain, int comm_chain, bool use_path_length, bool use_route_age,
+    const std::vector<PrependConfig>& schedule, std::uint64_t seed = 7);
+
+// Renders the Figure 7 state diagram (cases A..J) for `schedule`.
+std::string render_figure7(const std::vector<PrependConfig>& schedule);
+
+}  // namespace re::core

@@ -1,0 +1,93 @@
+#include "core/switch_cdf.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace re::core {
+
+SwitchCdf build_switch_cdf(const std::vector<PrefixInference>& first,
+                           const std::vector<PrefixInference>& second,
+                           const std::vector<PrependConfig>& schedule,
+                           bool use_second) {
+  SwitchCdf cdf;
+  for (const PrependConfig& c : schedule) cdf.config_labels.push_back(c.label());
+
+  // First switch round per (AS, side): ASes originating prefixes in both
+  // classes are counted once per class, as in the paper.
+  struct Key {
+    net::Asn as;
+    topo::ReSide side;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<net::Asn>{}(k.as) * 31 + static_cast<std::size_t>(k.side);
+    }
+  };
+  std::unordered_map<Key, int, KeyHash> first_switch;
+
+  for (const auto& [a, b] : switching_in_both(first, second)) {
+    const PrefixInference* chosen = use_second ? b : a;
+    if (!chosen->first_re_round.has_value()) continue;
+    const Key key{chosen->origin, chosen->side};
+    const auto it = first_switch.find(key);
+    if (it == first_switch.end() || *chosen->first_re_round < it->second) {
+      first_switch[key] = *chosen->first_re_round;
+    }
+  }
+
+  std::vector<std::size_t> participant_hist(schedule.size(), 0);
+  std::vector<std::size_t> nren_hist(schedule.size(), 0);
+  // Index of the first commodity-prepend configuration ("0-1").
+  int first_comm_step = -1;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].re == 0 && schedule[i].comm > 0) {
+      first_comm_step = static_cast<int>(i);
+      break;
+    }
+  }
+
+  for (const auto& [key, round] : first_switch) {
+    const auto idx = static_cast<std::size_t>(round);
+    if (idx >= schedule.size()) continue;
+    if (key.side == topo::ReSide::kParticipant) {
+      ++participant_hist[idx];
+      ++cdf.participant_ases;
+    } else {
+      ++nren_hist[idx];
+      ++cdf.peer_nren_ases;
+    }
+    if (round == first_comm_step) ++cdf.switched_at_first_comm_step;
+  }
+
+  auto accumulate = [](const std::vector<std::size_t>& hist, std::size_t total) {
+    std::vector<double> out(hist.size(), 0.0);
+    std::size_t running = 0;
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+      running += hist[i];
+      out[i] = total == 0 ? 0.0
+                          : static_cast<double>(running) /
+                                static_cast<double>(total);
+    }
+    return out;
+  };
+  cdf.participant = accumulate(participant_hist, cdf.participant_ases);
+  cdf.peer_nren = accumulate(nren_hist, cdf.peer_nren_ases);
+  return cdf;
+}
+
+std::string render_switch_cdf(const SwitchCdf& cdf) {
+  std::string out;
+  out += "config    peer-nren  participant\n";
+  for (std::size_t i = 0; i < cdf.config_labels.size(); ++i) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-9s %9.3f  %11.3f\n",
+                  cdf.config_labels[i].c_str(),
+                  i < cdf.peer_nren.size() ? cdf.peer_nren[i] : 0.0,
+                  i < cdf.participant.size() ? cdf.participant[i] : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace re::core

@@ -1,0 +1,44 @@
+// Figure 8 / Appendix B: when did ASes switch from commodity to R&E?
+//
+// Restricted to prefixes inferred Switch-to-R&E in BOTH experiments; for
+// each AS the first configuration at which any of its prefixes switched,
+// split into Participant (U.S. domestic) and Peer-NREN (international)
+// populations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/comparator.h"
+#include "core/experiment.h"
+
+namespace re::core {
+
+struct SwitchCdf {
+  // cdf[side][config index] = cumulative fraction of that side's ASes that
+  // switched at or before the configuration.
+  std::vector<double> participant;
+  std::vector<double> peer_nren;
+  std::size_t participant_ases = 0;
+  std::size_t peer_nren_ases = 0;
+  std::vector<std::string> config_labels;
+
+  // ASes whose first switch was at the first commodity-prepend step (the
+  // Appendix B route-age signature: case J networks switch at "0-1").
+  std::size_t switched_at_first_comm_step = 0;
+};
+
+// `use_second` selects which experiment's round states drive the
+// first-switch configuration (the populations are fixed to prefixes that
+// switch in both).
+SwitchCdf build_switch_cdf(const std::vector<PrefixInference>& first,
+                           const std::vector<PrefixInference>& second,
+                           const std::vector<PrependConfig>& schedule,
+                           bool use_second);
+
+std::string render_switch_cdf(const SwitchCdf& cdf);
+
+}  // namespace re::core

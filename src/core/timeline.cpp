@@ -1,0 +1,96 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace re::core {
+
+Figure3 build_figure3(const ExperimentResult& result) {
+  Figure3 fig;
+  const net::Prefix prefix = result.measurement_prefix;
+  const auto& updates = result.update_log.updates();
+
+  for (const RoundWindow& window : result.windows) {
+    TimelineWindow tw;
+    tw.config_label = window.config.label();
+    tw.config_applied = window.config_applied;
+    tw.probe_start = window.probe_start;
+    tw.probe_end = window.probe_end;
+    net::SimTime last_update = window.config_applied;
+    for (const bgp::CollectorUpdate& u : updates) {
+      if (u.prefix != prefix) continue;
+      if (u.time >= window.config_applied && u.time < window.probe_start) {
+        ++tw.updates_after_change;
+        last_update = std::max(last_update, u.time);
+      } else if (u.time >= window.probe_start && u.time < window.probe_end) {
+        ++tw.updates_during_probe;
+      }
+    }
+    tw.quiet_before_probe = window.probe_start - last_update;
+    fig.windows.push_back(tw);
+  }
+
+  for (const bgp::CollectorUpdate& u : updates) {
+    if (u.prefix != prefix || u.time < result.experiment_start) continue;
+    if (u.time < result.re_phase_end) {
+      ++fig.re_phase_updates;
+    } else if (u.time < result.experiment_end) {
+      ++fig.comm_phase_updates;
+    }
+  }
+
+  if (!result.windows.empty()) {
+    const net::SimTime begin = result.experiment_start;
+    const net::SimTime end = result.experiment_end;
+    const std::size_t bins =
+        static_cast<std::size_t>((end - begin) / fig.bin_seconds) + 1;
+    fig.cumulative.assign(bins, 0);
+    for (const bgp::CollectorUpdate& u : updates) {
+      if (u.prefix != prefix || u.time < begin || u.time >= end) continue;
+      const std::size_t bin =
+          static_cast<std::size_t>((u.time - begin) / fig.bin_seconds);
+      ++fig.cumulative[bin];
+    }
+    for (std::size_t i = 1; i < fig.cumulative.size(); ++i) {
+      fig.cumulative[i] += fig.cumulative[i - 1];
+    }
+  }
+  return fig;
+}
+
+std::string render_figure3(const Figure3& fig) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "updates while varying R&E prepends:       %zu\n"
+                "updates while varying commodity prepends: %zu\n\n",
+                fig.re_phase_updates, fig.comm_phase_updates);
+  out += line;
+  out += "config  updates-after-change  quiet-before-probe  updates-in-window\n";
+  for (const TimelineWindow& w : fig.windows) {
+    std::snprintf(line, sizeof(line), "%-7s %21zu  %18s  %17zu\n",
+                  w.config_label.c_str(), w.updates_after_change,
+                  net::SimClock::format(w.quiet_before_probe).c_str(),
+                  w.updates_during_probe);
+    out += line;
+  }
+
+  // Cumulative churn sparkline.
+  if (!fig.cumulative.empty()) {
+    const std::size_t total = fig.cumulative.back();
+    out += "\ncumulative churn (one column per ";
+    out += std::to_string(fig.bin_seconds / 60);
+    out += " min):\n";
+    static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    std::string row;
+    for (const std::size_t v : fig.cumulative) {
+      const std::size_t level =
+          total == 0 ? 0 : (v * 7 + total / 2) / (total == 0 ? 1 : total);
+      row += kLevels[std::min<std::size_t>(level, 7)];
+    }
+    out += row + "\n";
+  }
+  return out;
+}
+
+}  // namespace re::core

@@ -1,0 +1,37 @@
+// Figure 3: measurement-prefix BGP update activity around the probing
+// windows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace re::core {
+
+struct TimelineWindow {
+  std::string config_label;
+  net::SimTime config_applied = 0;
+  net::SimTime probe_start = 0;
+  net::SimTime probe_end = 0;
+  std::size_t updates_after_change = 0;   // updates in [change, probe_start)
+  std::size_t updates_during_probe = 0;   // updates in [probe_start, probe_end)
+  net::SimTime quiet_before_probe = 0;    // gap since the last update
+};
+
+struct Figure3 {
+  std::vector<TimelineWindow> windows;
+  std::size_t re_phase_updates = 0;    // while varying R&E prepends
+  std::size_t comm_phase_updates = 0;  // while varying commodity prepends
+  // Cumulative update count sampled per bin across the experiment.
+  std::vector<std::size_t> cumulative;
+  net::SimTime bin_seconds = 300;
+};
+
+Figure3 build_figure3(const ExperimentResult& result);
+
+// ASCII rendering of the churn timeline with probing windows marked.
+std::string render_figure3(const Figure3& fig);
+
+}  // namespace re::core

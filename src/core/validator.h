@@ -1,0 +1,75 @@
+// Validation of inferences (§4.1): congruence with public BGP views
+// (Table 3) and comparison against planted operator ground truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/experiment.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+
+// One AS's congruence check against its own public BGP feed.
+struct ViewCongruence {
+  net::Asn as;
+  Inference inferred = Inference::kAlwaysRe;  // most frequent prefix-level
+  bool congruent = false;
+  bool saw_re_origin = false;     // R&E origin appeared in the AS's feed
+  bool saw_commodity_origin = false;
+  bool vrf_split = false;         // planted confound (for reporting)
+};
+
+struct Table3 {
+  struct Row {
+    std::size_t congruent = 0;
+    std::size_t incongruent = 0;
+  };
+  std::map<Inference, Row> rows;
+  std::vector<ViewCongruence> details;
+  std::size_t ases_with_view = 0;
+  std::size_t dropped_no_majority = 0;  // AS without a most-frequent inference
+};
+
+// Compares each public-view AS's most-frequent prefix inference with the
+// origins that appeared in its collector feed during the experiment:
+//   Always R&E        -> only the R&E origin expected;
+//   Always commodity  -> only the commodity origin expected;
+//   Switch to R&E     -> both origins expected over the experiment.
+Table3 validate_against_views(const std::vector<PrefixInference>& inferences,
+                              const ExperimentResult& result,
+                              const topo::Ecosystem& ecosystem);
+
+// Ground-truth validation (§4.1.2). The generator's planted stance is the
+// "operator": an inference is correct when it matches what the planted
+// policy (plus commodity attachment) predicts.
+struct GroundTruthReport {
+  std::size_t ases_checked = 0;
+  std::size_t correct = 0;
+  // Confusion matrix: (planted-description, inferred) -> count.
+  std::map<std::pair<std::string, Inference>, std::size_t> confusion;
+
+  double accuracy() const {
+    return ases_checked == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(ases_checked);
+  }
+};
+
+// Validates per-AS majority inferences against the plant. `sample` limits
+// the check to the first N ASes with characterized prefixes (0 = all),
+// mirroring the paper's 33-AS validation when set small.
+GroundTruthReport validate_against_plant(
+    const std::vector<PrefixInference>& inferences,
+    const topo::Ecosystem& ecosystem, std::size_t sample = 0);
+
+// Majority (most frequent) inference for each AS; ASes whose prefixes tie
+// between categories map to nullopt.
+std::map<net::Asn, std::optional<Inference>> majority_inference_by_as(
+    const std::vector<PrefixInference>& inferences);
+
+}  // namespace re::core

@@ -1,0 +1,22 @@
+#include "dataplane/outage.h"
+
+namespace re::dataplane {
+
+void OutageInjector::apply(bgp::BgpNetwork& network, const net::Prefix& prefix,
+                           int round) {
+  if (active_.size() != plans_.size()) active_.assign(plans_.size(), false);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    const OutagePlan& plan = plans_[i];
+    const bool want_active = round >= plan.from_round && round <= plan.to_round;
+    if (want_active && !active_[i]) {
+      network.fail_session(plan.as, plan.re_neighbor, prefix);
+      active_[i] = true;
+    } else if (!want_active && active_[i]) {
+      network.restore_session(plan.as, plan.re_neighbor, prefix);
+      active_[i] = false;
+    }
+  }
+  network.run_to_convergence();
+}
+
+}  // namespace re::dataplane

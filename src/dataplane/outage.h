@@ -1,0 +1,43 @@
+// Outage injection: the short-lived failures that produced the paper's
+// Switch-to-commodity and Oscillating rows (§4: "an outage during our
+// experiment caused their route to our host to revert to commodity").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace re::dataplane {
+
+// A planned outage of one AS's R&E session for a span of probing rounds
+// (inclusive). While down, the AS (and its customers) fall back to
+// commodity routes for the measurement prefix.
+struct OutagePlan {
+  net::Asn as;             // AS whose session fails
+  net::Asn re_neighbor;    // the R&E neighbor of the failing session
+  int from_round = 0;      // first probing round affected (0-based)
+  int to_round = 0;        // last probing round affected; beyond the final
+                           // round means the outage persists to the end
+};
+
+// Applies/clears outages as the experiment steps through rounds.
+class OutageInjector {
+ public:
+  explicit OutageInjector(std::vector<OutagePlan> plans)
+      : plans_(std::move(plans)) {}
+
+  const std::vector<OutagePlan>& plans() const noexcept { return plans_; }
+
+  // Called before each probing round; fails/restores sessions so the
+  // network reflects the outages scheduled for `round`.
+  void apply(bgp::BgpNetwork& network, const net::Prefix& prefix, int round);
+
+ private:
+  std::vector<OutagePlan> plans_;
+  std::vector<bool> active_;  // parallel to plans_
+};
+
+}  // namespace re::dataplane

@@ -1,0 +1,78 @@
+#include "dataplane/return_path.h"
+
+namespace re::dataplane {
+
+ReturnPath ReturnPathResolver::resolve_with_stance(net::Asn source,
+                                                   bgp::ReStance stance) const {
+  if (terminals_.count(source) != 0) return resolve(source);
+  const bgp::Speaker* speaker = network_.speaker(source);
+  if (speaker == nullptr) return ReturnPath{};
+
+  // Re-run the first-hop selection with the overridden stance applied to
+  // this AS's candidates.
+  std::vector<bgp::Route> candidates = speaker->candidates(prefix_);
+  if (candidates.empty()) return resolve(source);  // default-route path
+  bgp::ImportPolicy policy = speaker->import_policy();
+  policy.re_stance = stance;
+  for (bgp::Route& candidate : candidates) {
+    if (!candidate.learned_from.valid()) continue;
+    if (const bgp::Session* session =
+            speaker->session_to(candidate.learned_from)) {
+      candidate.local_pref = policy.local_pref_for(*session);
+    }
+  }
+  const bgp::DecisionResult chosen =
+      bgp::select_best(candidates, speaker->decision());
+  const bgp::Route& best = candidates[chosen.best_index];
+  if (!best.learned_from.valid()) return ReturnPath{};
+
+  ReturnPath rest = resolve(best.learned_from);
+  ReturnPath out;
+  out.reachable = rest.reachable;
+  out.terminal = rest.terminal;
+  out.used_default_route = rest.used_default_route;
+  out.hops.push_back(source);
+  out.hops.insert(out.hops.end(), rest.hops.begin(), rest.hops.end());
+  return out;
+}
+
+ReturnPath ReturnPathResolver::resolve(net::Asn source) const {
+  ReturnPath result;
+  constexpr int kMaxHops = 64;
+
+  net::Asn current = source;
+  std::unordered_set<net::Asn> visited;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    result.hops.push_back(current);
+    if (terminals_.count(current) != 0) {
+      result.reachable = true;
+      result.terminal = current;
+      return result;
+    }
+    if (!visited.insert(current).second) return result;  // forwarding loop
+
+    const bgp::Speaker* speaker = network_.speaker(current);
+    if (speaker == nullptr) return result;
+
+    net::Asn next;
+    if (const bgp::Route* best = speaker->best(prefix_); best != nullptr) {
+      if (!best->learned_from.valid()) {
+        // This AS originates the prefix but is not a terminal: the
+        // announcement endpoints must cover all originators, so treat as
+        // unreachable rather than mis-attributing a VLAN.
+        return result;
+      }
+      next = best->learned_from;
+    } else if (const bgp::Session* fallback = speaker->default_route_session();
+               fallback != nullptr) {
+      result.used_default_route = true;
+      next = fallback->neighbor;
+    } else {
+      return result;  // no route, no default: response never leaves
+    }
+    current = next;
+  }
+  return result;  // hop limit exceeded
+}
+
+}  // namespace re::dataplane

@@ -1,0 +1,57 @@
+// Return-path resolution: which announcement endpoint (and therefore which
+// measurement-host VLAN) a response reaches.
+//
+// Responses are forwarded hop-by-hop: each AS forwards toward its *own*
+// best route for the measurement prefix, falling back to its default-route
+// session when it has no route at all (the hidden-upstream behaviour of
+// §4.2). The walk ends at an announcement terminal, which maps to a host
+// VLAN, or fails on a loop / route-less AS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+
+namespace re::dataplane {
+
+struct ReturnPath {
+  bool reachable = false;
+  net::Asn terminal;            // announcement endpoint reached
+  std::vector<net::Asn> hops;   // AS-level forwarding path, source first
+  bool used_default_route = false;
+};
+
+class ReturnPathResolver {
+ public:
+  // `terminals` are the ASes that deliver traffic for `prefix` to the
+  // measurement host (the announcement endpoints).
+  ReturnPathResolver(const bgp::BgpNetwork& network, net::Prefix prefix,
+                     std::vector<net::Asn> terminals)
+      : network_(network),
+        prefix_(prefix),
+        terminals_(terminals.begin(), terminals.end()) {}
+
+  // Walks from `source` toward the measurement prefix.
+  ReturnPath resolve(net::Asn source) const;
+
+  // §3.4 per-prefix policy granularity: resolves as if `source` applied
+  // `stance` (instead of its session defaults) when choosing the egress
+  // for this traffic — the first hop is re-selected under the overridden
+  // localpref assignment, then forwarding proceeds normally.
+  ReturnPath resolve_with_stance(net::Asn source, bgp::ReStance stance) const;
+
+  bool is_terminal(net::Asn asn) const { return terminals_.count(asn) != 0; }
+
+ private:
+  const bgp::BgpNetwork& network_;
+  net::Prefix prefix_;
+  std::unordered_set<net::Asn> terminals_;
+};
+
+}  // namespace re::dataplane

@@ -1,0 +1,313 @@
+#include "io/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace re::io {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prepare_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_for_value();
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_for_value();
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prepare_for_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  prepare_for_value();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  prepare_for_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_for_value();
+  out_ += "null";
+  return *this;
+}
+
+// --------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue(JsonValue::Storage(std::move(*s)));
+      }
+      case 't':
+        return consume_literal("true")
+                   ? std::optional<JsonValue>(JsonValue(JsonValue::Storage(true)))
+                   : std::nullopt;
+      case 'f':
+        return consume_literal("false")
+                   ? std::optional<JsonValue>(JsonValue(JsonValue::Storage(false)))
+                   : std::nullopt;
+      case 'n':
+        return consume_literal("null")
+                   ? std::optional<JsonValue>(JsonValue{})
+                   : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) return JsonValue(JsonValue::Storage(std::move(object)));
+    for (;;) {
+      skip_whitespace();
+      auto name = parse_string();
+      if (!name) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) return std::nullopt;
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      object.emplace(std::move(*name), std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue(JsonValue::Storage(std::move(object)));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) return JsonValue(JsonValue::Storage(std::move(array)));
+    for (;;) {
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue(JsonValue::Storage(std::move(array)));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    double value = 0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_) return std::nullopt;
+    return JsonValue(JsonValue::Storage(value));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+  if (!is_object()) return nullptr;
+  const auto& object = as_object();
+  const auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace re::io

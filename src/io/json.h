@@ -1,0 +1,107 @@
+// Minimal JSON support: a streaming writer and a small recursive-descent
+// parser. Used to emit and re-load measurement results the way the
+// paper's released tooling produces JSON (§3.1: "a program that used the
+// scamper Python module to conduct the measurement and produce JSON
+// results").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace re::io {
+
+// --------------------------------------------------------------- writing
+
+// Escapes a string for embedding in a JSON document (quotes not included).
+std::string json_escape(std::string_view text);
+
+// An append-only JSON writer with explicit structure calls. Produces
+// compact output; nesting is tracked so commas land correctly.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Keys are only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::uint32_t number) {
+    return value(std::uint64_t{number});
+  }
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void prepare_for_value();
+
+  std::string out_;
+  // Per-nesting-level: whether anything was emitted at this level.
+  std::vector<bool> has_items_{false};
+  bool pending_key_ = false;
+};
+
+// --------------------------------------------------------------- parsing
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+// A parsed JSON value.
+class JsonValue {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                   JsonObject>;
+
+  JsonValue() : storage_(nullptr) {}
+  explicit JsonValue(Storage storage) : storage_(std::move(storage)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_number() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(storage_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(storage_); }
+
+  bool as_bool() const { return std::get<bool>(storage_); }
+  double as_number() const { return std::get<double>(storage_); }
+  const std::string& as_string() const { return std::get<std::string>(storage_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(storage_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(storage_); }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view name) const;
+
+ private:
+  Storage storage_;
+};
+
+// Parses one JSON document; nullopt on any syntax error. Trailing
+// whitespace is allowed; trailing garbage is an error.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace re::io

@@ -1,0 +1,297 @@
+#include "io/results_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "io/json.h"
+
+namespace re::io {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'R', 'E', 'U', 'L'};
+constexpr std::uint16_t kVersion = 1;
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  bool need(std::size_t n) const { return pos_ + n <= bytes_.size(); }
+  bool done() const { return pos_ == bytes_.size(); }
+
+  std::optional<std::uint8_t> u8() {
+    if (!need(1)) return std::nullopt;
+    return bytes_[pos_++];
+  }
+  std::optional<std::uint16_t> u16() {
+    if (!need(2)) return std::nullopt;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((bytes_[pos_] << 8) | bytes_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::optional<std::uint32_t> u32() {
+    const auto hi = u16();
+    const auto lo = u16();
+    if (!hi || !lo) return std::nullopt;
+    return (std::uint32_t{*hi} << 16) | *lo;
+  }
+  std::optional<std::uint64_t> u64() {
+    const auto hi = u32();
+    const auto lo = u32();
+    if (!hi || !lo) return std::nullopt;
+    return (std::uint64_t{*hi} << 32) | *lo;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- tokens
+
+std::string round_state_token(core::RoundState state) {
+  switch (state) {
+    case core::RoundState::kRe: return "re";
+    case core::RoundState::kCommodity: return "commodity";
+    case core::RoundState::kMixed: return "mixed";
+    case core::RoundState::kLoss: return "loss";
+  }
+  return "?";
+}
+
+std::optional<core::RoundState> round_state_from_token(std::string_view token) {
+  if (token == "re") return core::RoundState::kRe;
+  if (token == "commodity") return core::RoundState::kCommodity;
+  if (token == "mixed") return core::RoundState::kMixed;
+  if (token == "loss") return core::RoundState::kLoss;
+  return std::nullopt;
+}
+
+std::string inference_token(core::Inference inference) {
+  switch (inference) {
+    case core::Inference::kAlwaysRe: return "always-re";
+    case core::Inference::kAlwaysCommodity: return "always-commodity";
+    case core::Inference::kSwitchToRe: return "switch-to-re";
+    case core::Inference::kSwitchToCommodity: return "switch-to-commodity";
+    case core::Inference::kMixed: return "mixed";
+    case core::Inference::kOscillating: return "oscillating";
+    case core::Inference::kExcludedLoss: return "packet-loss";
+  }
+  return "?";
+}
+
+std::optional<core::Inference> inference_from_token(std::string_view token) {
+  if (token == "always-re") return core::Inference::kAlwaysRe;
+  if (token == "always-commodity") return core::Inference::kAlwaysCommodity;
+  if (token == "switch-to-re") return core::Inference::kSwitchToRe;
+  if (token == "switch-to-commodity") return core::Inference::kSwitchToCommodity;
+  if (token == "mixed") return core::Inference::kMixed;
+  if (token == "oscillating") return core::Inference::kOscillating;
+  if (token == "packet-loss") return core::Inference::kExcludedLoss;
+  return std::nullopt;
+}
+
+std::string side_token(topo::ReSide side) {
+  return side == topo::ReSide::kParticipant ? "participant" : "peer-nren";
+}
+
+std::optional<topo::ReSide> side_from_token(std::string_view token) {
+  if (token == "participant") return topo::ReSide::kParticipant;
+  if (token == "peer-nren") return topo::ReSide::kPeerNren;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------- JSON lines
+
+std::string to_json_line(const core::PrefixInference& inference) {
+  JsonWriter writer;
+  writer.begin_object()
+      .field("prefix", inference.prefix.to_string())
+      .field("origin", inference.origin.value())
+      .field("side", side_token(inference.side));
+  writer.key("rounds").begin_array();
+  for (const core::RoundState state : inference.rounds) {
+    writer.value(round_state_token(state));
+  }
+  writer.end_array();
+  writer.field("inference", inference_token(inference.inference));
+  if (inference.first_re_round.has_value()) {
+    writer.field("first_re_round",
+                 static_cast<std::int64_t>(*inference.first_re_round));
+  }
+  writer.end_object();
+  return writer.take();
+}
+
+std::optional<core::PrefixInference> from_json_line(std::string_view line) {
+  const auto parsed = parse_json(line);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+
+  core::PrefixInference out;
+  const JsonValue* prefix = parsed->find("prefix");
+  if (prefix == nullptr || !prefix->is_string()) return std::nullopt;
+  const auto p = net::Prefix::parse(prefix->as_string());
+  if (!p) return std::nullopt;
+  out.prefix = *p;
+
+  const JsonValue* origin = parsed->find("origin");
+  if (origin == nullptr || !origin->is_number()) return std::nullopt;
+  out.origin = net::Asn{static_cast<std::uint32_t>(origin->as_number())};
+
+  if (const JsonValue* side = parsed->find("side");
+      side != nullptr && side->is_string()) {
+    const auto s = side_from_token(side->as_string());
+    if (!s) return std::nullopt;
+    out.side = *s;
+  }
+
+  const JsonValue* rounds = parsed->find("rounds");
+  if (rounds == nullptr || !rounds->is_array()) return std::nullopt;
+  for (const JsonValue& entry : rounds->as_array()) {
+    if (!entry.is_string()) return std::nullopt;
+    const auto state = round_state_from_token(entry.as_string());
+    if (!state) return std::nullopt;
+    out.rounds.push_back(*state);
+  }
+
+  const JsonValue* inference = parsed->find("inference");
+  if (inference == nullptr || !inference->is_string()) return std::nullopt;
+  const auto i = inference_from_token(inference->as_string());
+  if (!i) return std::nullopt;
+  out.inference = *i;
+
+  if (const JsonValue* first = parsed->find("first_re_round");
+      first != nullptr && first->is_number()) {
+    out.first_re_round = static_cast<int>(first->as_number());
+  }
+  return out;
+}
+
+std::string to_json_lines(
+    const std::vector<core::PrefixInference>& inferences) {
+  std::string out;
+  for (const core::PrefixInference& inference : inferences) {
+    out += to_json_line(inference);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<core::PrefixInference>> from_json_lines(
+    std::string_view text) {
+  std::vector<core::PrefixInference> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    auto parsed = from_json_line(line);
+    if (!parsed) return std::nullopt;
+    out.push_back(std::move(*parsed));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- MRT-like log
+
+std::vector<std::uint8_t> encode_update_log(const bgp::UpdateLog& log) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put16(out, kVersion);
+  put64(out, log.size());
+  for (const bgp::CollectorUpdate& update : log.updates()) {
+    put64(out, static_cast<std::uint64_t>(update.time));
+    put32(out, update.peer.value());
+    put32(out, update.prefix.network().value());
+    out.push_back(update.prefix.length());
+    out.push_back(update.withdraw ? 1 : 0);
+    put16(out, static_cast<std::uint16_t>(update.path.length()));
+    for (const net::Asn asn : update.path.asns()) put32(out, asn.value());
+  }
+  return out;
+}
+
+std::optional<bgp::UpdateLog> decode_update_log(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  if (!reader.need(4)) return std::nullopt;
+  for (const std::uint8_t magic : kMagic) {
+    const auto byte = reader.u8();
+    if (!byte || *byte != magic) return std::nullopt;
+  }
+  const auto version = reader.u16();
+  if (!version || *version != kVersion) return std::nullopt;
+  const auto count = reader.u64();
+  if (!count) return std::nullopt;
+
+  bgp::UpdateLog log;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto time = reader.u64();
+    const auto peer = reader.u32();
+    const auto address = reader.u32();
+    const auto length = reader.u8();
+    const auto withdraw = reader.u8();
+    const auto path_length = reader.u16();
+    if (!time || !peer || !address || !length || !withdraw || !path_length) {
+      return std::nullopt;
+    }
+    if (*length > 32 || *withdraw > 1) return std::nullopt;
+    std::vector<net::Asn> asns;
+    asns.reserve(*path_length);
+    for (std::uint16_t k = 0; k < *path_length; ++k) {
+      const auto asn = reader.u32();
+      if (!asn) return std::nullopt;
+      asns.push_back(net::Asn{*asn});
+    }
+    bgp::CollectorUpdate update;
+    update.time = static_cast<net::SimTime>(*time);
+    update.peer = net::Asn{*peer};
+    update.prefix = net::Prefix(net::IPv4Address(*address), *length);
+    update.withdraw = *withdraw == 1;
+    update.path = bgp::AsPath(std::move(asns));
+    log.record(std::move(update));
+  }
+  if (!reader.done()) return std::nullopt;  // trailing garbage
+  return log;
+}
+
+bool write_update_log(const std::string& path, const bgp::UpdateLog& log) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const auto bytes = encode_update_log(log);
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  std::fclose(file);
+  return ok;
+}
+
+std::optional<bgp::UpdateLog> read_update_log(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return decode_update_log(bytes);
+}
+
+}  // namespace re::io

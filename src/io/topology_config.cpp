@@ -1,0 +1,262 @@
+#include "io/topology_config.h"
+
+#include <charconv>
+
+namespace re::io {
+namespace {
+
+// Whitespace-splits a line, dropping anything after '#'.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size() || line[pos] == '#') break;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '#') {
+      ++end;
+    }
+    tokens.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view token) {
+  std::uint32_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || end != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<net::Asn> parse_asn(std::string_view token) {
+  // Accept both "11537" and "AS11537".
+  if (token.size() > 2 && (token.substr(0, 2) == "AS" || token.substr(0, 2) == "as")) {
+    token.remove_prefix(2);
+  }
+  const auto value = parse_u32(token);
+  if (!value || *value == 0) return std::nullopt;
+  return net::Asn{*value};
+}
+
+}  // namespace
+
+TopologyLoadResult load_topology(std::string_view text,
+                                 bgp::BgpNetwork& network) {
+  TopologyLoadResult result;
+
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  auto error = [&](const std::string& message) {
+    result.errors.push_back("line " + std::to_string(line_number) + ": " +
+                            message);
+  };
+
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    ++result.directives;
+    const std::string_view directive = tokens[0];
+
+    auto want_speaker = [&](std::string_view token) -> bgp::Speaker* {
+      const auto asn = parse_asn(token);
+      if (!asn) {
+        error("bad ASN '" + std::string(token) + "'");
+        return nullptr;
+      }
+      return &network.add_speaker(*asn);
+    };
+
+    if (directive == "transit" || directive == "peering") {
+      if (tokens.size() < 3 || tokens.size() > 4 ||
+          (tokens.size() == 4 && tokens[3] != "re")) {
+        error(std::string(directive) + " wants: <asn> <asn> [re]");
+        continue;
+      }
+      const auto a = parse_asn(tokens[1]);
+      const auto b = parse_asn(tokens[2]);
+      if (!a || !b || *a == *b) {
+        error("bad ASN pair");
+        continue;
+      }
+      const bool re_edge = tokens.size() == 4;
+      if (directive == "transit") {
+        network.connect_transit(*a, *b, re_edge);
+      } else {
+        network.connect_peering(*a, *b, re_edge);
+      }
+    } else if (directive == "stance") {
+      if (tokens.size() != 3) {
+        error("stance wants: <asn> prefer-re|equal|prefer-commodity");
+        continue;
+      }
+      bgp::Speaker* speaker = want_speaker(tokens[1]);
+      if (speaker == nullptr) continue;
+      if (tokens[2] == "prefer-re") {
+        speaker->import_policy().re_stance = bgp::ReStance::kPreferRe;
+      } else if (tokens[2] == "equal") {
+        speaker->import_policy().re_stance = bgp::ReStance::kEqualPref;
+      } else if (tokens[2] == "prefer-commodity") {
+        speaker->import_policy().re_stance = bgp::ReStance::kPreferCommodity;
+      } else {
+        error("unknown stance '" + std::string(tokens[2]) + "'");
+      }
+    } else if (directive == "reject-re") {
+      if (tokens.size() != 2) {
+        error("reject-re wants: <asn>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->import_policy().reject_re_routes = true;
+      }
+    } else if (directive == "prepend") {
+      const auto count = tokens.size() == 4 ? parse_u32(tokens[3]) : std::nullopt;
+      if (tokens.size() != 4 || !count) {
+        error("prepend wants: <asn> default|commodity|re <count>");
+        continue;
+      }
+      bgp::Speaker* speaker = want_speaker(tokens[1]);
+      if (speaker == nullptr) continue;
+      if (tokens[2] == "default") {
+        speaker->export_policy().default_prepend = *count;
+      } else if (tokens[2] == "commodity") {
+        speaker->export_policy().commodity_prepend = *count;
+      } else if (tokens[2] == "re") {
+        speaker->export_policy().re_prepend = *count;
+      } else {
+        error("unknown prepend class '" + std::string(tokens[2]) + "'");
+      }
+    } else if (directive == "neighbor-pref") {
+      const auto neighbor = tokens.size() == 4 ? parse_asn(tokens[2]) : std::nullopt;
+      const auto pref = tokens.size() == 4 ? parse_u32(tokens[3]) : std::nullopt;
+      if (!neighbor || !pref) {
+        error("neighbor-pref wants: <asn> <neighbor> <localpref>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->import_policy().neighbor_pref[*neighbor] = *pref;
+      }
+    } else if (directive == "path-block") {
+      const auto neighbor = tokens.size() == 4 ? parse_asn(tokens[2]) : std::nullopt;
+      const auto blocked = tokens.size() == 4 ? parse_asn(tokens[3]) : std::nullopt;
+      if (!neighbor || !blocked) {
+        error("path-block wants: <asn> <neighbor> <blocked-asn>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->export_policy().neighbor_path_block[*neighbor].push_back(
+            *blocked);
+      }
+    } else if (directive == "route-age" || directive == "path-length") {
+      if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
+        error(std::string(directive) + " wants: <asn> on|off");
+        continue;
+      }
+      bgp::Speaker* speaker = want_speaker(tokens[1]);
+      if (speaker == nullptr) continue;
+      const bool on = tokens[2] == "on";
+      if (directive == "route-age") {
+        speaker->decision().use_route_age = on;
+      } else {
+        speaker->decision().use_as_path_length = on;
+      }
+    } else if (directive == "re-transit") {
+      if (tokens.size() != 2) {
+        error("re-transit wants: <asn>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->set_re_transit_between_peers(true);
+      }
+    } else if (directive == "vrf-split") {
+      if (tokens.size() != 2) {
+        error("vrf-split wants: <asn>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->set_vrf_split_export(true);
+      }
+    } else if (directive == "damping") {
+      if (tokens.size() != 2) {
+        error("damping wants: <asn>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->damping().enabled = true;
+      }
+    } else if (directive == "default-route") {
+      const auto neighbor = tokens.size() == 3 ? parse_asn(tokens[2]) : std::nullopt;
+      if (!neighbor) {
+        error("default-route wants: <asn> <neighbor>");
+        continue;
+      }
+      if (bgp::Speaker* speaker = want_speaker(tokens[1])) {
+        speaker->set_session_default_route(*neighbor);
+      }
+    } else if (directive == "collector") {
+      const auto asn = tokens.size() == 2 ? parse_asn(tokens[1]) : std::nullopt;
+      if (!asn) {
+        error("collector wants: <asn>");
+        continue;
+      }
+      network.add_speaker(*asn);
+      network.add_collector_peer(*asn);
+    } else if (directive == "announce") {
+      if (tokens.size() < 3) {
+        error("announce wants: <asn> <prefix> [re-only] [no-commodity] [no-re]");
+        continue;
+      }
+      const auto asn = parse_asn(tokens[1]);
+      const auto prefix = net::Prefix::parse(tokens[2]);
+      if (!asn || !prefix) {
+        error("bad announce target");
+        continue;
+      }
+      PlannedAnnouncement announcement;
+      announcement.origin = *asn;
+      announcement.prefix = *prefix;
+      bool bad_flag = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        if (tokens[i] == "re-only") {
+          announcement.options.re_only = true;
+        } else if (tokens[i] == "no-commodity") {
+          announcement.options.to_commodity_sessions = false;
+        } else if (tokens[i] == "no-re") {
+          announcement.options.to_re_sessions = false;
+        } else {
+          error("unknown announce flag '" + std::string(tokens[i]) + "'");
+          bad_flag = true;
+        }
+      }
+      if (bad_flag) continue;
+      network.add_speaker(*asn);
+      result.announcements.push_back(announcement);
+    } else {
+      error("unknown directive '" + std::string(directive) + "'");
+    }
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+void apply_announcements(const std::vector<PlannedAnnouncement>& announcements,
+                         bgp::BgpNetwork& network) {
+  for (const PlannedAnnouncement& announcement : announcements) {
+    network.announce(announcement.origin, announcement.prefix,
+                     announcement.options);
+  }
+  network.run_to_convergence();
+}
+
+}  // namespace re::io

@@ -1,0 +1,58 @@
+// Text topology configuration: build a BgpNetwork from a simple line
+// format, in the spirit of C-BGP's scripting interface (§2.2 cites
+// Quoitin & Uhlig's C-BGP as the classic AS-modeling substrate).
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   transit <provider-asn> <customer-asn> [re]
+//   peering <asn> <asn> [re]
+//   stance <asn> prefer-re|equal|prefer-commodity
+//   reject-re <asn>
+//   prepend <asn> default|commodity|re <count>
+//   neighbor-pref <asn> <neighbor-asn> <localpref>
+//   path-block <asn> <neighbor-asn> <blocked-asn>
+//   route-age <asn> on|off
+//   path-length <asn> on|off
+//   re-transit <asn>                      (stitch R&E peers, §2.1)
+//   vrf-split <asn>
+//   damping <asn>
+//   default-route <asn> <neighbor-asn>
+//   collector <asn>
+//   announce <asn> <prefix> [re-only] [no-commodity] [no-re]
+//
+// Announcements are collected, not executed, so callers control timing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/network.h"
+
+namespace re::io {
+
+struct PlannedAnnouncement {
+  net::Asn origin;
+  net::Prefix prefix;
+  bgp::OriginationOptions options;
+};
+
+struct TopologyLoadResult {
+  bool ok = false;
+  std::vector<PlannedAnnouncement> announcements;
+  std::vector<std::string> errors;  // "line N: message"
+  std::size_t directives = 0;
+};
+
+// Applies the configuration to `network`. On errors, every parseable
+// directive is still applied; `ok` is false and `errors` lists the rest.
+TopologyLoadResult load_topology(std::string_view text,
+                                 bgp::BgpNetwork& network);
+
+// Convenience: applies the planned announcements and converges.
+void apply_announcements(const std::vector<PlannedAnnouncement>& announcements,
+                         bgp::BgpNetwork& network);
+
+}  // namespace re::io

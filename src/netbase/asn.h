@@ -1,0 +1,49 @@
+// Autonomous System Number strong type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace re::net {
+
+// An AS number. A strong type so ASNs cannot be silently mixed with other
+// integers (indices, counts) in interfaces.
+class Asn {
+ public:
+  constexpr Asn() noexcept = default;
+  constexpr explicit Asn(std::uint32_t value) noexcept : value_(value) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != 0; }
+
+  std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// Well-known ASNs from the paper, used by examples and tests.
+namespace asn {
+inline constexpr Asn kInternet2{11537};
+inline constexpr Asn kInternet2Blend{396955};
+inline constexpr Asn kSurf{1103};
+inline constexpr Asn kSurfExperiment{1125};
+inline constexpr Asn kGeant{20965};
+inline constexpr Asn kLumen{3356};
+inline constexpr Asn kCogent{174};
+inline constexpr Asn kArelion{1299};
+inline constexpr Asn kNiks{3267};
+}  // namespace asn
+
+}  // namespace re::net
+
+template <>
+struct std::hash<re::net::Asn> {
+  std::size_t operator()(re::net::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

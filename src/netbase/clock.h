@@ -1,0 +1,50 @@
+// Logical simulation clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace re::net {
+
+// Seconds since the (arbitrary) start of a simulation. Route ages, damping
+// penalties, and experiment timelines are all expressed in SimTime.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+
+// A monotonically non-decreasing logical clock. The experiment controller
+// owns one clock and advances it explicitly; all components read it through
+// a reference so that "one hour of convergence wait" is a pure state change.
+class SimClock {
+ public:
+  constexpr SimClock() noexcept = default;
+  constexpr explicit SimClock(SimTime start) noexcept : now_(start) {}
+
+  constexpr SimTime now() const noexcept { return now_; }
+
+  constexpr void advance(SimTime delta) noexcept {
+    if (delta > 0) now_ += delta;
+  }
+  constexpr void advance_to(SimTime when) noexcept {
+    if (when > now_) now_ = when;
+  }
+
+  // Renders "HH:MM:SS" for timeline output (Figure 3 style).
+  static std::string format(SimTime t) {
+    const SimTime h = t / kHour;
+    const SimTime m = (t % kHour) / kMinute;
+    const SimTime s = t % kMinute;
+    auto two = [](SimTime v) {
+      std::string out = std::to_string(v);
+      return out.size() < 2 ? "0" + out : out;
+    };
+    return two(h) + ":" + two(m) + ":" + two(s);
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace re::net

@@ -1,0 +1,45 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+
+namespace re::net {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) noexcept {
+  std::array<std::uint32_t, 4> octets{};
+  const char* pos = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos == end || *pos != '.') return std::nullopt;
+      ++pos;
+    }
+    if (pos == end || *pos < '0' || *pos > '9') return std::nullopt;
+    // Reject octets with leading zeros longer than one digit ("01").
+    if (*pos == '0' && pos + 1 != end && pos[1] >= '0' && pos[1] <= '9') {
+      return std::nullopt;
+    }
+    auto [next, ec] = std::from_chars(pos, end, octets[static_cast<std::size_t>(i)]);
+    if (ec != std::errc{} || octets[static_cast<std::size_t>(i)] > 255) {
+      return std::nullopt;
+    }
+    pos = next;
+  }
+  if (pos != end) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string IPv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(std::to_string(octet(i)));
+  }
+  return out;
+}
+
+}  // namespace re::net

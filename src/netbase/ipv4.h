@@ -1,0 +1,55 @@
+// IPv4 address value type.
+//
+// Part of the netbase substrate for the reproduction of
+// "R&E Routing Policy: Inference and Implication" (IMC 2025).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace re::net {
+
+// An IPv4 address stored in host byte order.
+//
+// A regular value type: cheap to copy, totally ordered, hashable.
+// Formatting follows dotted-quad convention; parsing is strict
+// (exactly four decimal octets, no leading '+', each octet <= 255).
+class IPv4Address {
+ public:
+  constexpr IPv4Address() noexcept = default;
+  constexpr explicit IPv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  // Builds an address from four octets, most significant first.
+  static constexpr IPv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) noexcept {
+    return IPv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  // Parses a dotted-quad string; returns nullopt on any syntax error.
+  static std::optional<IPv4Address> parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * index));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4Address, IPv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace re::net
+
+template <>
+struct std::hash<re::net::IPv4Address> {
+  std::size_t operator()(re::net::IPv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

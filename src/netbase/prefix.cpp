@@ -1,0 +1,27 @@
+#include "netbase/prefix.h"
+
+#include <charconv>
+
+namespace re::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = IPv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty()) return std::nullopt;
+  unsigned length = 0;
+  auto [pos, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || pos != len_text.data() + len_text.size() || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*address, static_cast<std::uint8_t>(length));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace re::net

@@ -1,0 +1,85 @@
+// IPv4 prefix (CIDR block) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ipv4.h"
+
+namespace re::net {
+
+// A canonical IPv4 prefix: the stored network address always has its host
+// bits zeroed, so equal prefixes compare equal bit-for-bit.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  // Canonicalizes: host bits of `network` below `length` are cleared.
+  constexpr Prefix(IPv4Address network, std::uint8_t length) noexcept
+      : network_(IPv4Address(network.value() & mask_for(length))),
+        length_(length <= 32 ? length : std::uint8_t{32}) {}
+
+  // Parses "a.b.c.d/len"; returns nullopt on syntax error or len > 32.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  constexpr IPv4Address network() const noexcept { return network_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+
+  // Network mask for a given prefix length (length 0 -> 0).
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u
+                       : (length >= 32 ? ~0u : ~0u << (32 - length));
+  }
+
+  constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  // True if `address` falls inside this prefix.
+  constexpr bool contains(IPv4Address address) const noexcept {
+    return (address.value() & mask()) == network_.value();
+  }
+
+  // True if `other` is equal to or more specific than this prefix.
+  constexpr bool covers(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  // First/last addresses of the block.
+  constexpr IPv4Address first_address() const noexcept { return network_; }
+  constexpr IPv4Address last_address() const noexcept {
+    return IPv4Address(network_.value() | ~mask());
+  }
+
+  // Number of addresses in the block (2^(32-length)); 2^32 reported as
+  // 0x100000000 via 64-bit width.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  // The address at `offset` within the block; offset taken modulo size().
+  constexpr IPv4Address address_at(std::uint64_t offset) const noexcept {
+    return IPv4Address(network_.value() +
+                       static_cast<std::uint32_t>(offset & (size() - 1)));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  IPv4Address network_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace re::net
+
+template <>
+struct std::hash<re::net::Prefix> {
+  std::size_t operator()(const re::net::Prefix& p) const noexcept {
+    const std::uint64_t mixed =
+        (std::uint64_t{p.network().value()} << 8) | p.length();
+    return std::hash<std::uint64_t>{}(mixed);
+  }
+};

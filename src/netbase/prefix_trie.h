@@ -1,0 +1,144 @@
+// Binary radix trie keyed by IPv4 prefix, supporting exact-match,
+// longest-prefix match, and covered-prefix enumeration.
+//
+// The trie is a path-per-bit binary tree: inserting a /24 walks 24 levels.
+// For the scales in this reproduction (tens of thousands of prefixes) this
+// is simple and fast enough, and keeps the matching semantics obviously
+// correct.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace re::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  // Inserts or overwrites the value stored at `prefix`.
+  // Returns true if the prefix was newly inserted.
+  bool insert(const Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  // Removes `prefix`; returns true if it was present.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Exact-match lookup.
+  const Value* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+  Value* find(const Prefix& prefix) {
+    return const_cast<Value*>(std::as_const(*this).find(prefix));
+  }
+
+  // Longest-prefix match for an address; returns the matched prefix and a
+  // pointer to its value, or nullopt if nothing covers the address.
+  std::optional<std::pair<Prefix, const Value*>> longest_match(
+      IPv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, const Value*>> best;
+    if (node->value.has_value()) best = {Prefix{}, &*node->value};
+    std::uint8_t depth = 0;
+    while (depth < 32) {
+      const int bit = (address.value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) break;
+      ++depth;
+      if (node->value.has_value()) {
+        best = {Prefix(address, depth), &*node->value};
+      }
+    }
+    return best;
+  }
+
+  // True if some strictly-less-specific prefix in the trie covers `prefix`.
+  bool has_shorter_cover(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    if (node->value.has_value() && prefix.length() > 0) return true;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) return false;
+      if (node->value.has_value() && depth + 1 < prefix.length()) return true;
+    }
+    return false;
+  }
+
+  // Invokes `fn(prefix, value)` for every stored prefix, in trie order
+  // (shorter/parent prefixes before their more-specifics).
+  void for_each(const std::function<void(const Prefix&, const Value&)>& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+  Node* descend(const Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend(prefix));
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
+            const std::function<void(const Prefix&, const Value&)>& fn) const {
+    if (node->value.has_value()) {
+      fn(Prefix(IPv4Address(bits), depth), *node->value);
+    }
+    for (int bit = 0; bit < 2; ++bit) {
+      if (node->child[bit]) {
+        const std::uint32_t child_bits =
+            bit == 0 ? bits : bits | (1u << (31 - depth));
+        walk(node->child[bit].get(), child_bits,
+             static_cast<std::uint8_t>(depth + 1), fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace re::net

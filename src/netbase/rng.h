@@ -1,0 +1,132 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic behaviour in the simulator draws from an explicitly-seeded
+// Rng, so a run is a pure function of its seed. The core generator is
+// xoshiro256++, seeded via SplitMix64 per the authors' recommendation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace re::net {
+
+// SplitMix64: used only for seeding.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256++ with convenience distributions. Satisfies
+// std::uniform_random_bit_generator, so it also works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound); bound must be > 0.
+  // Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t value = next();
+      const unsigned __int128 product =
+          static_cast<unsigned __int128>(value) * bound;
+      if (static_cast<std::uint64_t>(product) >= threshold) {
+        return static_cast<std::uint64_t>(product >> 64);
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Uniformly-chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[below(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[below(items.size())];
+  }
+
+  // Index drawn from the discrete distribution proportional to `weights`.
+  // Weights must be non-negative with a positive sum.
+  std::size_t weighted(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (const double w : weights) total += w;
+    double draw = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  // A child generator with an independent stream, derived deterministically
+  // from this generator's current state and a caller-chosen stream id.
+  Rng fork(std::uint64_t stream) noexcept {
+    return Rng(next() ^ (stream * 0x9e3779b97f4a7c15ull));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace re::net

@@ -1,0 +1,68 @@
+// The multi-homed measurement host (Figure 2).
+//
+// The host owns one loopback-sourced measurement address and several VLAN
+// interfaces, each terminating at an announcement endpoint (SURF tunnel,
+// Internet2 R&E VRF, Internet2 commodity). The interface a response
+// arrives on — scamper's IP_PKTINFO observation — identifies the class of
+// the return route.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+
+namespace re::probing {
+
+struct VlanInterface {
+  int vlan_id = 0;
+  std::string name;      // e.g. "ens3f1np1.1001"
+  bool re = false;       // R&E-class interface
+  net::Asn terminal;     // AS at which traffic on this VLAN arrives
+};
+
+class MeasurementHost {
+ public:
+  explicit MeasurementHost(net::IPv4Address source) : source_(source) {}
+
+  net::IPv4Address source() const noexcept { return source_; }
+
+  void add_interface(VlanInterface iface) {
+    interfaces_.push_back(std::move(iface));
+  }
+
+  const std::vector<VlanInterface>& interfaces() const noexcept {
+    return interfaces_;
+  }
+
+  // The interface a packet arriving via `terminal` shows up on.
+  const VlanInterface* interface_for_terminal(net::Asn terminal) const {
+    for (const VlanInterface& iface : interfaces_) {
+      if (iface.terminal == terminal) return &iface;
+    }
+    return nullptr;
+  }
+
+  const VlanInterface* interface_by_vlan(int vlan_id) const {
+    for (const VlanInterface& iface : interfaces_) {
+      if (iface.vlan_id == vlan_id) return &iface;
+    }
+    return nullptr;
+  }
+
+  // All announcement-terminal ASNs the host can hear from.
+  std::vector<net::Asn> terminals() const {
+    std::vector<net::Asn> out;
+    out.reserve(interfaces_.size());
+    for (const VlanInterface& iface : interfaces_) out.push_back(iface.terminal);
+    return out;
+  }
+
+ private:
+  net::IPv4Address source_;
+  std::vector<VlanInterface> interfaces_;
+};
+
+}  // namespace re::probing

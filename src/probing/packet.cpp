@@ -1,0 +1,338 @@
+#include "probing/packet.h"
+
+#include <cstring>
+
+namespace re::probing {
+namespace {
+
+void put16(std::uint8_t* at, std::uint16_t value) {
+  at[0] = static_cast<std::uint8_t>(value >> 8);
+  at[1] = static_cast<std::uint8_t>(value);
+}
+void put32(std::uint8_t* at, std::uint32_t value) {
+  at[0] = static_cast<std::uint8_t>(value >> 24);
+  at[1] = static_cast<std::uint8_t>(value >> 16);
+  at[2] = static_cast<std::uint8_t>(value >> 8);
+  at[3] = static_cast<std::uint8_t>(value);
+}
+std::uint16_t get16(const std::uint8_t* at) {
+  return static_cast<std::uint16_t>((at[0] << 8) | at[1]);
+}
+std::uint32_t get32(const std::uint8_t* at) {
+  return (std::uint32_t{at[0]} << 24) | (std::uint32_t{at[1]} << 16) |
+         (std::uint32_t{at[2]} << 8) | std::uint32_t{at[3]};
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(get16(&data[i]));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;  // pad odd byte
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// ------------------------------------------------------------------ IPv4
+
+std::array<std::uint8_t, Ipv4Header::kSize> Ipv4Header::encode() const {
+  std::array<std::uint8_t, kSize> out{};
+  out[0] = 0x45;  // version 4, IHL 5
+  put16(&out[2], total_length);
+  put16(&out[4], identification);
+  out[8] = ttl;
+  out[9] = protocol;
+  put32(&out[12], source.value());
+  put32(&out[16], destination.value());
+  const std::uint16_t checksum = internet_checksum(out);
+  put16(&out[10], checksum);
+  return out;
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize || data[0] != 0x45) return std::nullopt;
+  // Verify checksum: recompute over the header with the checksum in place;
+  // a valid header sums to zero (complement form).
+  std::array<std::uint8_t, kSize> header{};
+  std::memcpy(header.data(), data.data(), kSize);
+  if (internet_checksum(header) != 0) return std::nullopt;
+  Ipv4Header out;
+  out.total_length = get16(&data[2]);
+  out.identification = get16(&data[4]);
+  out.ttl = data[8];
+  out.protocol = data[9];
+  out.source = net::IPv4Address(get32(&data[12]));
+  out.destination = net::IPv4Address(get32(&data[16]));
+  return out;
+}
+
+// ------------------------------------------------------------------ ICMP
+
+std::array<std::uint8_t, IcmpMessage::kSize> IcmpMessage::encode() const {
+  std::array<std::uint8_t, kSize> out{};
+  out[0] = static_cast<std::uint8_t>(type);
+  out[1] = code;
+  put16(&out[4], identifier);
+  put16(&out[6], sequence);
+  const std::uint16_t checksum = internet_checksum(out);
+  put16(&out[2], checksum);
+  return out;
+}
+
+std::optional<IcmpMessage> IcmpMessage::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  std::array<std::uint8_t, kSize> raw{};
+  std::memcpy(raw.data(), data.data(), kSize);
+  if (internet_checksum(raw) != 0) return std::nullopt;
+  IcmpMessage out;
+  out.type = static_cast<IcmpType>(data[0]);
+  out.code = data[1];
+  out.identifier = get16(&data[4]);
+  out.sequence = get16(&data[6]);
+  return out;
+}
+
+// ------------------------------------------------------------------- TCP
+
+std::array<std::uint8_t, TcpHeader::kSize> TcpHeader::encode() const {
+  std::array<std::uint8_t, kSize> out{};
+  put16(&out[0], source_port);
+  put16(&out[2], destination_port);
+  put32(&out[4], sequence);
+  put32(&out[8], acknowledgment);
+  out[12] = 5 << 4;  // data offset
+  out[13] = static_cast<std::uint8_t>((ack ? 0x10 : 0) | (rst ? 0x04 : 0) |
+                                      (syn ? 0x02 : 0) | (fin ? 0x01 : 0));
+  put16(&out[14], 0xffff);  // window
+  // Checksum over the TCP header alone (pseudo-header omitted in the
+  // simulator; both ends use the same convention).
+  const std::uint16_t checksum = internet_checksum(out);
+  put16(&out[16], checksum);
+  return out;
+}
+
+std::optional<TcpHeader> TcpHeader::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  std::array<std::uint8_t, kSize> raw{};
+  std::memcpy(raw.data(), data.data(), kSize);
+  if (internet_checksum(raw) != 0) return std::nullopt;
+  TcpHeader out;
+  out.source_port = get16(&data[0]);
+  out.destination_port = get16(&data[2]);
+  out.sequence = get32(&data[4]);
+  out.acknowledgment = get32(&data[8]);
+  out.ack = (data[13] & 0x10) != 0;
+  out.rst = (data[13] & 0x04) != 0;
+  out.syn = (data[13] & 0x02) != 0;
+  out.fin = (data[13] & 0x01) != 0;
+  return out;
+}
+
+// ------------------------------------------------------------------- UDP
+
+std::array<std::uint8_t, UdpHeader::kSize> UdpHeader::encode() const {
+  std::array<std::uint8_t, kSize> out{};
+  put16(&out[0], source_port);
+  put16(&out[2], destination_port);
+  put16(&out[4], length);
+  const std::uint16_t checksum = internet_checksum(out);
+  put16(&out[6], checksum);
+  return out;
+}
+
+std::optional<UdpHeader> UdpHeader::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  std::array<std::uint8_t, kSize> raw{};
+  std::memcpy(raw.data(), data.data(), kSize);
+  if (internet_checksum(raw) != 0) return std::nullopt;
+  UdpHeader out;
+  out.source_port = get16(&data[0]);
+  out.destination_port = get16(&data[2]);
+  out.length = get16(&data[4]);
+  return out;
+}
+
+// -------------------------------------------------------------- factory
+
+ProbePacket PacketFactory::make_probe(const ProbeTarget& target) {
+  ProbePacket packet;
+  packet.method = target.method;
+  packet.destination = target.address;
+
+  Ipv4Header ip;
+  ip.source = source_;
+  ip.destination = target.address;
+  ip.identification = next_sequence_;
+
+  switch (target.method) {
+    case ProbeMethod::kIcmpEcho: {
+      IcmpMessage icmp;
+      icmp.type = IcmpType::kEchoRequest;
+      icmp.identifier = identifier_;
+      icmp.sequence = next_sequence_;
+      packet.match_id = identifier_;
+      packet.match_seq = next_sequence_;
+      ip.protocol = 1;
+      ip.total_length = Ipv4Header::kSize + IcmpMessage::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto icmp_bytes = icmp.encode();
+      packet.bytes.assign(ip_bytes.begin(), ip_bytes.end());
+      packet.bytes.insert(packet.bytes.end(), icmp_bytes.begin(),
+                          icmp_bytes.end());
+      break;
+    }
+    case ProbeMethod::kTcpSyn: {
+      TcpHeader tcp;
+      tcp.source_port = static_cast<std::uint16_t>(0x8000 | next_sequence_);
+      tcp.destination_port = target.port;
+      tcp.sequence = static_cast<std::uint32_t>(identifier_) << 16 |
+                     next_sequence_;
+      tcp.syn = true;
+      packet.match_id = tcp.source_port;
+      packet.match_seq = next_sequence_;
+      ip.protocol = 6;
+      ip.total_length = Ipv4Header::kSize + TcpHeader::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto tcp_bytes = tcp.encode();
+      packet.bytes.assign(ip_bytes.begin(), ip_bytes.end());
+      packet.bytes.insert(packet.bytes.end(), tcp_bytes.begin(),
+                          tcp_bytes.end());
+      break;
+    }
+    case ProbeMethod::kUdp: {
+      UdpHeader udp;
+      udp.source_port = static_cast<std::uint16_t>(0x8000 | next_sequence_);
+      udp.destination_port = target.port;
+      packet.match_id = udp.source_port;
+      packet.match_seq = next_sequence_;
+      ip.protocol = 17;
+      ip.total_length = Ipv4Header::kSize + UdpHeader::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto udp_bytes = udp.encode();
+      packet.bytes.assign(ip_bytes.begin(), ip_bytes.end());
+      packet.bytes.insert(packet.bytes.end(), udp_bytes.begin(),
+                          udp_bytes.end());
+      break;
+    }
+  }
+  ++next_sequence_;
+  if (next_sequence_ == 0) next_sequence_ = 1;
+  return packet;
+}
+
+std::vector<std::uint8_t> PacketFactory::make_response(
+    const ProbePacket& probe) const {
+  Ipv4Header ip;
+  ip.source = probe.destination;
+  ip.destination = source_;
+
+  std::vector<std::uint8_t> out;
+  switch (probe.method) {
+    case ProbeMethod::kIcmpEcho: {
+      IcmpMessage reply;
+      reply.type = IcmpType::kEchoReply;
+      reply.identifier = probe.match_id;
+      reply.sequence = probe.match_seq;
+      ip.protocol = 1;
+      ip.total_length = Ipv4Header::kSize + IcmpMessage::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto icmp_bytes = reply.encode();
+      out.assign(ip_bytes.begin(), ip_bytes.end());
+      out.insert(out.end(), icmp_bytes.begin(), icmp_bytes.end());
+      break;
+    }
+    case ProbeMethod::kTcpSyn: {
+      const auto probe_tcp = TcpHeader::decode(
+          std::span(probe.bytes).subspan(Ipv4Header::kSize));
+      TcpHeader reply;
+      reply.source_port = probe_tcp->destination_port;
+      reply.destination_port = probe_tcp->source_port;
+      reply.acknowledgment = probe_tcp->sequence + 1;
+      reply.syn = true;
+      reply.ack = true;
+      ip.protocol = 6;
+      ip.total_length = Ipv4Header::kSize + TcpHeader::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto tcp_bytes = reply.encode();
+      out.assign(ip_bytes.begin(), ip_bytes.end());
+      out.insert(out.end(), tcp_bytes.begin(), tcp_bytes.end());
+      break;
+    }
+    case ProbeMethod::kUdp: {
+      // ICMP port unreachable quoting the probe's IP header + 8 bytes.
+      IcmpMessage unreachable;
+      unreachable.type = IcmpType::kDestinationUnreachable;
+      unreachable.code = 3;
+      ip.protocol = 1;
+      const std::size_t quoted =
+          std::min<std::size_t>(probe.bytes.size(), Ipv4Header::kSize + 8);
+      ip.total_length = static_cast<std::uint16_t>(
+          Ipv4Header::kSize + IcmpMessage::kSize + quoted);
+      const auto ip_bytes = ip.encode();
+      const auto icmp_bytes = unreachable.encode();
+      out.assign(ip_bytes.begin(), ip_bytes.end());
+      out.insert(out.end(), icmp_bytes.begin(), icmp_bytes.end());
+      out.insert(out.end(), probe.bytes.begin(),
+                 probe.bytes.begin() + static_cast<std::ptrdiff_t>(quoted));
+      break;
+    }
+  }
+  return out;
+}
+
+bool PacketFactory::matches(const ProbePacket& probe,
+                            std::span<const std::uint8_t> response) const {
+  const auto ip = Ipv4Header::decode(response);
+  if (!ip || ip->destination != source_) return false;
+  const auto payload = response.subspan(Ipv4Header::kSize);
+
+  switch (probe.method) {
+    case ProbeMethod::kIcmpEcho: {
+      if (ip->protocol != 1) return false;
+      const auto icmp = IcmpMessage::decode(payload);
+      return icmp && icmp->type == IcmpType::kEchoReply &&
+             icmp->identifier == probe.match_id &&
+             icmp->sequence == probe.match_seq &&
+             ip->source == probe.destination;
+    }
+    case ProbeMethod::kTcpSyn: {
+      if (ip->protocol != 6) return false;
+      const auto tcp = TcpHeader::decode(payload);
+      return tcp && (tcp->syn || tcp->rst) && tcp->ack &&
+             tcp->destination_port == probe.match_id &&
+             ip->source == probe.destination;
+    }
+    case ProbeMethod::kUdp: {
+      // Expect an ICMP port-unreachable quoting our probe.
+      if (ip->protocol != 1) return false;
+      const auto icmp = IcmpMessage::decode(payload);
+      if (!icmp || icmp->type != IcmpType::kDestinationUnreachable ||
+          icmp->code != 3) {
+        return false;
+      }
+      if (payload.size() < IcmpMessage::kSize + Ipv4Header::kSize +
+                               UdpHeader::kSize) {
+        return false;
+      }
+      const auto quoted_ip =
+          Ipv4Header::decode(payload.subspan(IcmpMessage::kSize));
+      if (!quoted_ip || quoted_ip->destination != probe.destination ||
+          quoted_ip->source != source_) {
+        return false;
+      }
+      const auto quoted_udp = UdpHeader::decode(
+          payload.subspan(IcmpMessage::kSize + Ipv4Header::kSize));
+      return quoted_udp && quoted_udp->source_port == probe.match_id;
+    }
+  }
+  return false;
+}
+
+}  // namespace re::probing

@@ -1,0 +1,126 @@
+// Probe packet construction and parsing: the wire-level layer of the
+// scamper substitute.
+//
+// The measurement host sends ICMP echo requests, TCP SYNs, and UDP probes
+// sourced from the measurement prefix (§3.1/§3.3 and Ethics: "benign ICMP
+// echo, TCP SYN, and UDP probes"), and matches responses back to probes.
+// This module implements IPv4/ICMP/TCP/UDP header encoding and decoding
+// with real Internet checksums, plus the response-matching logic
+// (ICMP echo id/seq, TCP SYN-ACK/RST to the probe's ports, ICMP port
+// unreachable quoting the UDP probe).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "probing/seeds.h"
+
+namespace re::probing {
+
+// RFC 1071 Internet checksum over a byte span (odd lengths padded).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// ------------------------------------------------------------------ IPv4
+
+struct Ipv4Header {
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 1;  // 1 ICMP, 6 TCP, 17 UDP
+  net::IPv4Address source;
+  net::IPv4Address destination;
+  std::uint16_t identification = 0;
+  std::uint16_t total_length = 20;
+
+  static constexpr std::size_t kSize = 20;
+  // Serializes the header (checksum computed over the 20 bytes).
+  std::array<std::uint8_t, kSize> encode() const;
+  // Parses and checksum-verifies; nullopt on malformed input.
+  static std::optional<Ipv4Header> decode(std::span<const std::uint8_t> data);
+};
+
+// ------------------------------------------------------------------ ICMP
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestinationUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;  // echo id (per-prober)
+  std::uint16_t sequence = 0;    // echo sequence (per-probe)
+
+  static constexpr std::size_t kSize = 8;
+  std::array<std::uint8_t, kSize> encode() const;
+  static std::optional<IcmpMessage> decode(std::span<const std::uint8_t> data);
+};
+
+// ------------------------------------------------------------------- TCP
+
+struct TcpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t acknowledgment = 0;
+  bool syn = false, ack = false, rst = false, fin = false;
+
+  static constexpr std::size_t kSize = 20;
+  std::array<std::uint8_t, kSize> encode() const;
+  static std::optional<TcpHeader> decode(std::span<const std::uint8_t> data);
+};
+
+// ------------------------------------------------------------------- UDP
+
+struct UdpHeader {
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = 8;
+
+  static constexpr std::size_t kSize = 8;
+  std::array<std::uint8_t, kSize> encode() const;
+  static std::optional<UdpHeader> decode(std::span<const std::uint8_t> data);
+};
+
+// -------------------------------------------------------------- factory
+
+// A fully-encoded probe packet plus the bookkeeping needed to match its
+// response.
+struct ProbePacket {
+  std::vector<std::uint8_t> bytes;      // IPv4 header + payload
+  ProbeMethod method = ProbeMethod::kIcmpEcho;
+  net::IPv4Address destination;
+  std::uint16_t match_id = 0;   // icmp id / tcp source port / udp source port
+  std::uint16_t match_seq = 0;  // icmp seq / tcp sequence low bits
+};
+
+class PacketFactory {
+ public:
+  // `source` is the measurement address (163.253.63.63 in the paper);
+  // `identifier` distinguishes this prober instance.
+  PacketFactory(net::IPv4Address source, std::uint16_t identifier)
+      : source_(source), identifier_(identifier) {}
+
+  ProbePacket make_probe(const ProbeTarget& target);
+
+  // Builds the response a responsive target would send.
+  std::vector<std::uint8_t> make_response(const ProbePacket& probe) const;
+
+  // True if `response` (an IPv4 packet) answers `probe`.
+  bool matches(const ProbePacket& probe,
+               std::span<const std::uint8_t> response) const;
+
+  net::IPv4Address source() const noexcept { return source_; }
+
+ private:
+  net::IPv4Address source_;
+  std::uint16_t identifier_;
+  std::uint16_t next_sequence_ = 1;
+};
+
+}  // namespace re::probing

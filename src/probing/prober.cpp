@@ -1,0 +1,57 @@
+#include "probing/prober.h"
+
+#include <cmath>
+
+namespace re::probing {
+
+RoundResult Prober::run_round(const std::vector<PrefixSeeds>& seeds,
+                              const TargetResolver& resolver,
+                              net::SimClock& clock) {
+  RoundResult result;
+  result.started_at = clock.now();
+  result.prefixes.reserve(seeds.size());
+
+  PacketFactory factory(config_.source_address,
+                        static_cast<std::uint16_t>(rng_.next() | 1));
+
+  for (const PrefixSeeds& prefix_seeds : seeds) {
+    PrefixRoundResult pr;
+    pr.prefix = prefix_seeds.prefix;
+    pr.origin = prefix_seeds.origin;
+    pr.outcomes.reserve(prefix_seeds.targets.size());
+    for (const ProbeTarget& target : prefix_seeds.targets) {
+      ++result.probes_sent;
+      ProbeOutcome outcome;
+      outcome.address = target.address;
+      const bool lost = rng_.chance(config_.transient_loss);
+      if (!lost) {
+        if (const auto vlan = resolver(prefix_seeds, target)) {
+          bool accepted = true;
+          if (config_.verify_packets) {
+            // Drive the wire layer: encode the probe, synthesize the
+            // target's answer, and match it the way scamper does.
+            const ProbePacket probe = factory.make_probe(target);
+            const auto response = factory.make_response(probe);
+            accepted = factory.matches(probe, response);
+            if (!accepted) ++result.packet_mismatches;
+          }
+          if (accepted) {
+            outcome.responded = true;
+            outcome.vlan_id = *vlan;
+            ++result.responses;
+          }
+        }
+      }
+      pr.outcomes.push_back(outcome);
+    }
+    result.prefixes.push_back(std::move(pr));
+  }
+
+  const double seconds =
+      static_cast<double>(result.probes_sent) / config_.pps;
+  clock.advance(static_cast<net::SimTime>(std::ceil(seconds)));
+  result.finished_at = clock.now();
+  return result;
+}
+
+}  // namespace re::probing

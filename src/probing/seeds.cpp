@@ -1,0 +1,182 @@
+#include "probing/seeds.h"
+
+#include <algorithm>
+
+namespace re::probing {
+
+std::string to_string(ProbeMethod m) {
+  switch (m) {
+    case ProbeMethod::kIcmpEcho: return "icmp-echo";
+    case ProbeMethod::kTcpSyn: return "tcp-syn";
+    case ProbeMethod::kUdp: return "udp";
+  }
+  return "?";
+}
+
+SeedDatabase SeedDatabase::generate(const topo::Ecosystem& ecosystem,
+                                    const SeedGenParams& params) {
+  SeedDatabase db;
+  net::Rng rng(params.seed);
+
+  for (const topo::PrefixRecord& record : ecosystem.prefixes()) {
+    if (record.covered) continue;  // covered prefixes have no own seeds
+    const bool dark = rng.chance(params.p_prefix_dark);
+
+    if (rng.chance(params.p_isi_coverage)) {
+      const int count = static_cast<int>(
+          rng.between(params.isi_min, params.isi_max));
+      std::vector<IsiRecord> records;
+      records.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        IsiRecord r;
+        // Spread addresses across the prefix; .0 avoided.
+        r.address = record.prefix.address_at(1 + rng.below(record.prefix.size() - 2));
+        r.score = rng.uniform();
+        const double p_alive =
+            params.isi_resp_base + params.isi_resp_slope * r.score;
+        if (!dark && rng.chance(p_alive)) db.responsive_.insert(r.address);
+        records.push_back(r);
+      }
+      // ISI history files are rank-ordered by score.
+      std::sort(records.begin(), records.end(),
+                [](const IsiRecord& a, const IsiRecord& b) {
+                  return a.score > b.score;
+                });
+      db.isi_[record.prefix] = std::move(records);
+    }
+
+    if (rng.chance(params.p_censys_coverage)) {
+      const int count = static_cast<int>(
+          rng.between(params.censys_min, params.censys_max));
+      std::vector<CensysRecord> records;
+      records.reserve(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        CensysRecord r;
+        r.address = record.prefix.address_at(1 + rng.below(record.prefix.size() - 2));
+        r.method = rng.chance(0.7) ? ProbeMethod::kTcpSyn : ProbeMethod::kUdp;
+        r.port = r.method == ProbeMethod::kTcpSyn
+                     ? (rng.chance(0.5) ? 443 : (rng.chance(0.5) ? 80 : 22))
+                     : (rng.chance(0.5) ? 53 : 123);
+        if (!dark && rng.chance(params.censys_resp)) {
+          db.responsive_.insert(r.address);
+        }
+        records.push_back(r);
+      }
+      db.censys_[record.prefix] = std::move(records);
+    }
+  }
+  return db;
+}
+
+const std::vector<IsiRecord>* SeedDatabase::isi_for(
+    const net::Prefix& prefix) const {
+  const auto it = isi_.find(prefix);
+  return it == isi_.end() ? nullptr : &it->second;
+}
+
+const std::vector<CensysRecord>* SeedDatabase::censys_for(
+    const net::Prefix& prefix) const {
+  const auto it = censys_.find(prefix);
+  return it == censys_.end() ? nullptr : &it->second;
+}
+
+SelectionResult select_probe_seeds(const topo::Ecosystem& ecosystem,
+                                   const SeedDatabase& db, std::uint64_t seed,
+                                   int targets_per_prefix) {
+  SelectionResult result;
+  net::Rng rng(seed);
+
+  std::unordered_set<net::Asn> all_ases, seeded_ases, responsive_ases;
+
+  for (const topo::PrefixRecord& record : ecosystem.prefixes()) {
+    if (record.covered) {
+      ++result.stats.covered_excluded;
+      continue;
+    }
+    ++result.stats.total_prefixes;
+    all_ases.insert(record.origin);
+
+    const std::vector<IsiRecord>* isi = db.isi_for(record.prefix);
+    const std::vector<CensysRecord>* censys = db.censys_for(record.prefix);
+    if (isi != nullptr) ++result.stats.isi_seeded;
+    if (isi == nullptr && censys == nullptr) continue;
+    ++result.stats.any_seeded;
+    seeded_ases.insert(record.origin);
+
+    PrefixSeeds seeds;
+    seeds.prefix = record.prefix;
+    seeds.origin = record.origin;
+    seeds.stance_override = record.stance_override;
+    bool used_isi = false, used_censys = false;
+
+    // Probe up to ten ISI addresses in rank order.
+    if (isi != nullptr) {
+      for (std::size_t i = 0; i < isi->size() && i < 10; ++i) {
+        if (static_cast<int>(seeds.targets.size()) >= targets_per_prefix) break;
+        if (!db.currently_responsive((*isi)[i].address)) continue;
+        const bool dup = std::any_of(
+            seeds.targets.begin(), seeds.targets.end(),
+            [&](const ProbeTarget& t) { return t.address == (*isi)[i].address; });
+        if (dup) continue;
+        seeds.targets.push_back(
+            ProbeTarget{(*isi)[i].address, ProbeMethod::kIcmpEcho, 0, {}});
+        used_isi = true;
+      }
+    }
+    // Then up to ten randomly-selected Censys tuples.
+    if (censys != nullptr &&
+        static_cast<int>(seeds.targets.size()) < targets_per_prefix) {
+      std::vector<std::size_t> order(censys->size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.shuffle(order);
+      std::size_t probed = 0;
+      for (const std::size_t idx : order) {
+        if (probed++ >= 10) break;
+        if (static_cast<int>(seeds.targets.size()) >= targets_per_prefix) break;
+        const CensysRecord& r = (*censys)[idx];
+        if (!db.currently_responsive(r.address)) continue;
+        // Skip duplicates of already-selected addresses.
+        const bool dup = std::any_of(
+            seeds.targets.begin(), seeds.targets.end(),
+            [&](const ProbeTarget& t) { return t.address == r.address; });
+        if (dup) continue;
+        seeds.targets.push_back(ProbeTarget{r.address, r.method, r.port, {}});
+        used_censys = true;
+      }
+    }
+
+    if (seeds.targets.empty()) continue;
+    ++result.stats.responsive;
+    responsive_ases.insert(record.origin);
+    if (static_cast<int>(seeds.targets.size()) >= targets_per_prefix) {
+      ++result.stats.with_three_targets;
+    }
+    if (used_isi && used_censys) {
+      seeds.seed_origin = SeedOrigin::kMixed;
+      ++result.stats.mixed;
+    } else if (used_censys) {
+      seeds.seed_origin = SeedOrigin::kCensys;
+      ++result.stats.censys_only;
+    } else {
+      seeds.seed_origin = SeedOrigin::kIsi;
+      ++result.stats.isi_only;
+    }
+
+    // Interconnect-router confound: the last selected system in a planted
+    // prefix answers from an address whose return routing belongs to a
+    // neighboring AS. Requires at least two systems so the prefix can
+    // actually appear mixed.
+    if (record.has_interconnect_system && seeds.targets.size() >= 2) {
+      seeds.targets.back().routes_via = record.interconnect_as;
+    }
+
+    result.seeds.push_back(std::move(seeds));
+  }
+
+  result.stats.ases_total = all_ases.size();
+  result.stats.ases_seeded = seeded_ases.size();
+  result.stats.ases_responsive = responsive_ases.size();
+  return result;
+}
+
+}  // namespace re::probing

@@ -1,0 +1,133 @@
+// Probe-seed datasets: synthetic stand-ins for the ISI IPv4 Response
+// History dataset and Censys service scans (§3.2), plus the paper's
+// seed-selection pipeline.
+//
+// The generator plants per-address ground-truth responsiveness; the
+// selection pipeline then *discovers* responsive addresses exactly the way
+// the paper does (probe up to ten ISI-ranked addresses and up to ten
+// random Censys tuples per prefix, keep up to three responders).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+#include "netbase/rng.h"
+#include "topology/ecosystem.h"
+
+namespace re::probing {
+
+enum class ProbeMethod : std::uint8_t { kIcmpEcho, kTcpSyn, kUdp };
+
+std::string to_string(ProbeMethod m);
+
+// One entry of the ISI-history-like dataset: an address with a history
+// score in [0, 1]; higher scores were responsive in more recent censuses.
+struct IsiRecord {
+  net::IPv4Address address;
+  double score = 0.0;
+};
+
+// One entry of the Censys-like dataset: a service tuple.
+struct CensysRecord {
+  net::IPv4Address address;
+  std::uint16_t port = 0;
+  ProbeMethod method = ProbeMethod::kTcpSyn;
+};
+
+struct SeedGenParams {
+  std::uint64_t seed = 7;
+  double p_isi_coverage = 0.652;    // prefixes with any ISI history
+  double p_censys_coverage = 0.23;  // prefixes with any Censys services
+  double p_prefix_dark = 0.055;     // seeded prefixes with nothing alive now
+  int isi_min = 5, isi_max = 18;
+  int censys_min = 2, censys_max = 10;
+  // P(address currently responsive) = base + slope * score for ISI
+  // records; a flat rate for Censys services.
+  double isi_resp_base = 0.16;
+  double isi_resp_slope = 0.62;
+  double censys_resp = 0.50;
+};
+
+// The two seed datasets plus planted ground-truth responsiveness.
+class SeedDatabase {
+ public:
+  static SeedDatabase generate(const topo::Ecosystem& ecosystem,
+                               const SeedGenParams& params);
+
+  const std::vector<IsiRecord>* isi_for(const net::Prefix& prefix) const;
+  const std::vector<CensysRecord>* censys_for(const net::Prefix& prefix) const;
+
+  // Ground truth: does this address answer probes right now?
+  bool currently_responsive(net::IPv4Address address) const {
+    return responsive_.count(address) != 0;
+  }
+
+  std::size_t isi_prefix_count() const noexcept { return isi_.size(); }
+  std::size_t censys_prefix_count() const noexcept { return censys_.size(); }
+
+ private:
+  std::unordered_map<net::Prefix, std::vector<IsiRecord>> isi_;
+  std::unordered_map<net::Prefix, std::vector<CensysRecord>> censys_;
+  std::unordered_set<net::IPv4Address> responsive_;
+};
+
+// A probe destination chosen by the selection pipeline.
+struct ProbeTarget {
+  net::IPv4Address address;
+  ProbeMethod method = ProbeMethod::kIcmpEcho;
+  std::uint16_t port = 0;
+
+  // Interconnect-router confound: responses from this address follow the
+  // routing of `routes_via` instead of the prefix's origin AS (§4.1.2).
+  std::optional<net::Asn> routes_via;
+};
+
+enum class SeedOrigin : std::uint8_t { kIsi, kCensys, kMixed };
+
+// The chosen targets for one prefix.
+struct PrefixSeeds {
+  net::Prefix prefix;
+  net::Asn origin;
+  std::vector<ProbeTarget> targets;  // 1..3 responsive addresses
+  SeedOrigin seed_origin = SeedOrigin::kIsi;
+
+  // §3.4: per-prefix egress stance planted on this prefix (carried through
+  // so the dataplane can apply policy-routing granularity).
+  std::optional<bgp::ReStance> stance_override;
+};
+
+// Statistics mirroring the §3.2 narrative.
+struct SelectionStats {
+  std::size_t total_prefixes = 0;      // candidate universe (non-covered)
+  std::size_t covered_excluded = 0;    // excluded as covered by another
+  std::size_t isi_seeded = 0;          // prefixes with ISI candidates
+  std::size_t any_seeded = 0;          // prefixes with any candidates
+  std::size_t responsive = 0;          // prefixes with >= 1 live target
+  std::size_t with_three_targets = 0;
+  std::size_t isi_only = 0, censys_only = 0, mixed = 0;
+  std::size_t ases_total = 0, ases_seeded = 0, ases_responsive = 0;
+};
+
+struct SelectionResult {
+  std::vector<PrefixSeeds> seeds;
+  SelectionStats stats;
+};
+
+// Runs the §3.2 pipeline over the ecosystem's prefixes: exclude covered
+// prefixes, probe <= 10 ISI candidates (by descending score) and <= 10
+// random Censys tuples, keep up to `targets_per_prefix` responders
+// (ISI/ICMP first). Marks one target with the interconnect confound where
+// the prefix record plants one.
+SelectionResult select_probe_seeds(const topo::Ecosystem& ecosystem,
+                                   const SeedDatabase& db,
+                                   std::uint64_t seed,
+                                   int targets_per_prefix = 3);
+
+}  // namespace re::probing

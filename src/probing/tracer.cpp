@@ -1,0 +1,97 @@
+#include "probing/tracer.h"
+
+namespace re::probing {
+
+std::string TraceResult::to_string() const {
+  std::string out = source.to_string() + " ->";
+  for (const TraceHop& hop : hops) {
+    out += " " + std::to_string(hop.asn.value());
+    if (hop.destination) out += "*";
+  }
+  if (!reached) out += " !";
+  return out;
+}
+
+bool Tracer::is_origin(net::Asn asn) const {
+  for (const net::Asn origin : origins_) {
+    if (origin == asn) return true;
+  }
+  return false;
+}
+
+TraceResult Tracer::trace(net::Asn source, int max_ttl) const {
+  TraceResult result;
+  result.source = source;
+  result.destination = destination_;
+
+  net::Asn current = source;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    if (is_origin(current)) {
+      // A probe with this TTL expires (or arrives) at the destination AS.
+      result.hops.push_back(TraceHop{ttl, current, true});
+      result.reached = true;
+      return result;
+    }
+    const bgp::Speaker* speaker = network_.speaker(current);
+    if (speaker == nullptr) return result;
+
+    net::Asn next;
+    if (const bgp::Route* best = speaker->best(destination_);
+        best != nullptr && best->learned_from.valid()) {
+      next = best->learned_from;
+    } else if (const bgp::Session* fallback = speaker->default_route_session();
+               fallback != nullptr) {
+      next = fallback->neighbor;
+    } else {
+      return result;  // no route: probes beyond this hop vanish
+    }
+    // The probe with TTL == ttl expires at `next` (the first hop is the
+    // source's own next AS; the source itself does not answer its probes).
+    result.hops.push_back(TraceHop{ttl, next, false});
+    // Loop guard: an AS already on the path means a forwarding loop.
+    for (std::size_t i = 0; i + 1 < result.hops.size(); ++i) {
+      if (result.hops[i].asn == next) return result;
+    }
+    if (is_origin(next)) {
+      result.hops.back().destination = true;
+      result.reached = true;
+      return result;
+    }
+    current = next;
+  }
+  return result;
+}
+
+bool Tracer::verify_wire(const TraceResult& result,
+                         net::IPv4Address probe_source,
+                         net::IPv4Address destination_address) const {
+  PacketFactory factory(probe_source, 0x7ace);
+  for (const TraceHop& hop : result.hops) {
+    ProbeTarget target{destination_address, ProbeMethod::kIcmpEcho, 0, {}};
+    const ProbePacket probe = factory.make_probe(target);
+    if (hop.destination) {
+      // Echo reply from the destination: must match the probe.
+      const auto reply = factory.make_response(probe);
+      if (!factory.matches(probe, reply)) return false;
+    } else {
+      // ICMP time-exceeded from an intermediate hop: encode and decode it
+      // to exercise the codec; it must NOT match as an echo reply.
+      Ipv4Header ip;
+      ip.source = net::IPv4Address(0x0a000000u | hop.asn.value());
+      ip.destination = probe_source;
+      ip.protocol = 1;
+      IcmpMessage exceeded;
+      exceeded.type = IcmpType::kTimeExceeded;
+      ip.total_length = Ipv4Header::kSize + IcmpMessage::kSize;
+      const auto ip_bytes = ip.encode();
+      const auto icmp_bytes = exceeded.encode();
+      std::vector<std::uint8_t> reply(ip_bytes.begin(), ip_bytes.end());
+      reply.insert(reply.end(), icmp_bytes.begin(), icmp_bytes.end());
+      if (!Ipv4Header::decode(reply).has_value()) return false;
+      if (factory.matches(probe, reply)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace re::probing

@@ -1,0 +1,66 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+
+namespace re::topo {
+
+std::string to_string(AsClass c) {
+  switch (c) {
+    case AsClass::kTier1: return "tier1";
+    case AsClass::kTransit: return "transit";
+    case AsClass::kReBackbone: return "re-backbone";
+    case AsClass::kNren: return "nren";
+    case AsClass::kRegional: return "regional";
+    case AsClass::kMember: return "member";
+    case AsClass::kOther: return "other";
+  }
+  return "?";
+}
+
+std::string to_string(ReSide s) {
+  return s == ReSide::kParticipant ? "participant" : "peer-nren";
+}
+
+AsRecord& AsDirectory::add(AsRecord record) {
+  by_class_.clear();  // invalidate the lazily-built class index
+  const auto it = by_asn_.find(record.asn);
+  if (it != by_asn_.end()) {
+    records_[it->second] = std::move(record);
+    return records_[it->second];
+  }
+  by_asn_[record.asn] = records_.size();
+  records_.push_back(std::move(record));
+  return records_.back();
+}
+
+const AsRecord* AsDirectory::find(net::Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &records_[it->second];
+}
+
+AsRecord* AsDirectory::find(net::Asn asn) {
+  const auto it = by_asn_.find(asn);
+  return it == by_asn_.end() ? nullptr : &records_[it->second];
+}
+
+const std::vector<net::Asn>& AsDirectory::of_class(AsClass c) const {
+  if (by_class_.empty()) {
+    for (const AsRecord& r : records_) {
+      by_class_[static_cast<int>(r.cls)].push_back(r.asn);
+    }
+    for (auto& [cls, asns] : by_class_) std::sort(asns.begin(), asns.end());
+  }
+  static const std::vector<net::Asn> kEmpty;
+  const auto it = by_class_.find(static_cast<int>(c));
+  return it == by_class_.end() ? kEmpty : it->second;
+}
+
+std::vector<net::Asn> AsDirectory::all() const {
+  std::vector<net::Asn> out;
+  out.reserve(records_.size());
+  for (const AsRecord& r : records_) out.push_back(r.asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace re::topo

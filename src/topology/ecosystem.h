@@ -1,0 +1,155 @@
+// Synthetic R&E ecosystem generator.
+//
+// Generates the AS-level world the paper measures: the commodity core
+// (tier-1s and mid-tier transits), the R&E fabric (Internet2, GEANT,
+// NORDUnet, NRENs, U.S. regionals), ~2.6K member ASes originating ~18K
+// prefixes, the measurement-prefix announcement endpoints, public-view
+// collector peers, and the planted per-AS routing policies that form the
+// ground truth the inference pipeline recovers.
+//
+// Everything is a pure function of EcosystemParams (including the seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+#include "netbase/prefix.h"
+#include "netbase/rng.h"
+#include "topology/as_graph.h"
+#include "topology/geo.h"
+
+namespace re::topo {
+
+struct EcosystemParams {
+  std::uint64_t seed = 20250529;
+
+  // Structural sizes. Defaults reproduce the paper's scale; tests shrink
+  // them via scaled().
+  int tier1_count = 8;
+  int transit_count = 60;
+  int member_count = 2650;
+  int target_prefixes = 18426;  // member prefixes incl. covered ones
+  int covered_prefixes = 437;   // subset entirely covered by another prefix
+
+  double participant_fraction = 0.48;  // U.S. members vs international
+
+  // Planted egress-policy mix over member ASes (must sum to <= 1; the
+  // remainder rejects R&E routes outright).
+  double p_prefer_re = 0.772;
+  double p_equal_pref = 0.125;
+  double p_prefer_commodity = 0.068;
+  // residual 0.035 -> reject_re_routes
+
+  // Commodity attachment.
+  double p_external_commodity = 0.78;  // member buys external transit
+  double p_nren_commodity_take = 0.65; // member uses NREN's commodity, if sold
+  double p_announce_to_commodity = 0.80;  // external commodity visible in BGP
+  double p_hidden_default_route = 0.35;   // default route when nothing else
+
+  // Probability a prefix hosts an interconnect-router system (the source
+  // of the Mixed class; §4.1.2).
+  double p_interconnect_prefix = 0.034;
+
+  // Probability that a prefix of a commodity-connected member follows a
+  // per-prefix egress stance different from the AS default (§3.4 policy
+  // granularity; puts ASes into multiple Table 1 categories).
+  double p_prefix_stance_override = 0.02;
+
+  // Deliberate commodity users prepending their R&E announcements
+  // (Table 4's R>C column).
+  double p_re_prepend_given_prefer_commodity = 0.35;
+  double p_re_prepend_other = 0.07;
+
+  // Count of special plants.
+  int route_age_ases = 4;    // case-J networks (Appendix A/B)
+  int public_view_members = 26;  // Table 3's ASes with a public view
+  int vrf_split_members = 3;     // Table 3's incongruent ASes
+  int niks_members = 20;         // Russian members behind NIKS
+  int niks_prefixes_per_member = 8;
+
+  // Fraction of member ASes that damp flaps (Gray et al. 2020: ~9%).
+  double p_damping = 0.09;
+
+  // Returns a copy with member/prefix counts scaled by `factor` (for
+  // fast tests); structural networks are kept intact.
+  EcosystemParams scaled(double factor) const;
+};
+
+// Well-known ASNs used by the generator for the measurement setup.
+struct MeasurementEndpoints {
+  net::Prefix prefix;           // 163.253.63.0/24
+  net::Asn commodity_origin;    // AS 396955 via Lumen
+  net::Asn surf_re_origin;      // AS 1125 via SURF (May experiment)
+  net::Asn internet2_re_origin; // AS 11537 itself (June experiment)
+};
+
+class Ecosystem {
+ public:
+  static Ecosystem generate(const EcosystemParams& params);
+
+  const EcosystemParams& params() const noexcept { return params_; }
+  const AsDirectory& directory() const noexcept { return directory_; }
+  AsDirectory& directory() noexcept { return directory_; }
+  const std::vector<PrefixRecord>& prefixes() const noexcept { return prefixes_; }
+
+  const MeasurementEndpoints& measurement() const noexcept { return measurement_; }
+
+  net::Asn internet2() const noexcept { return net::asn::kInternet2; }
+  net::Asn geant() const noexcept { return net::asn::kGeant; }
+  net::Asn surf() const noexcept { return net::asn::kSurf; }
+  net::Asn nordunet() const noexcept { return nordunet_; }
+  net::Asn niks() const noexcept { return net::asn::kNiks; }
+  net::Asn ripe() const noexcept { return ripe_; }
+  net::Asn lumen() const noexcept { return net::asn::kLumen; }
+  net::Asn deutsche_telekom() const noexcept { return dt_; }
+
+  const std::vector<net::Asn>& tier1s() const noexcept { return tier1s_; }
+  const std::vector<net::Asn>& transits() const noexcept { return transits_; }
+  const std::vector<net::Asn>& nrens() const noexcept { return nrens_; }
+  const std::vector<net::Asn>& regionals() const noexcept { return regionals_; }
+  const std::vector<net::Asn>& members() const noexcept { return members_; }
+
+  // All collector feeds (tier1s, transits, RIPE, member views).
+  const std::vector<net::Asn>& collector_peers() const noexcept {
+    return collector_peers_;
+  }
+  // The member ASes that provide a public view (Table 3 candidates).
+  const std::vector<net::Asn>& member_view_peers() const noexcept {
+    return member_view_peers_;
+  }
+
+  // The set of ASes on the R&E side (backbones, NRENs, regionals, NIKS):
+  // the "R&E AS" classification of §4.2.
+  bool is_re_transit(net::Asn asn) const;
+
+  // Prefix records originated by one AS.
+  std::vector<const PrefixRecord*> prefixes_of(net::Asn origin) const;
+
+  // Wires a BgpNetwork: speakers, sessions, import/export policies,
+  // decision configs, collector peers. Does not announce anything.
+  void build_network(bgp::BgpNetwork& network) const;
+
+  // Announces every member prefix originated by `origin` (respecting its
+  // planted announce-to-commodity policy).
+  void announce_member_prefixes(bgp::BgpNetwork& network, net::Asn origin) const;
+
+ private:
+  EcosystemParams params_;
+  AsDirectory directory_;
+  std::vector<PrefixRecord> prefixes_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> prefixes_by_origin_;
+
+  MeasurementEndpoints measurement_;
+  net::Asn nordunet_{2603};
+  net::Asn ripe_{3333};
+  net::Asn dt_{3320};
+
+  std::vector<net::Asn> tier1s_, transits_, nrens_, regionals_, members_;
+  std::vector<net::Asn> collector_peers_, member_view_peers_;
+};
+
+}  // namespace re::topo

@@ -1,0 +1,148 @@
+#include "topology/geo.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace re::topo {
+
+std::vector<NrenProfile> default_nren_profiles() {
+  // Fields: country, name, asn, european, provides_commodity,
+  // nren_commodity_prepend, member_prepend_probability,
+  // shares_provider_with_vantage, member_weight.
+  //
+  // Calibrated to the §4.3 narrative: NO/SE/FR/ES/AU/NZ >90% reached over
+  // R&E (NREN sells commodity, members use it near-exclusively, NREN
+  // prepends toward its commodity providers); DE/BR/TH/UA/BY <15% (NREN
+  // shares an unprepended provider with the vantage).
+  return {
+      {"NL", "SURF", net::Asn{1103}, true, false, 2, 0.55, false, 3.0},
+      {"DE", "DFN", net::Asn{680}, true, false, 0, 0.05, true, 4.0},
+      {"UK", "Janet", net::Asn{786}, true, false, 3, 0.40, false, 3.5},
+      {"FR", "RENATER", net::Asn{2200}, true, true, 2, 0.50, false, 3.0},
+      {"ES", "RedIRIS", net::Asn{766}, true, true, 2, 0.50, false, 2.0},
+      {"NO", "Sikt", net::Asn{224}, true, true, 3, 0.60, false, 1.5},
+      {"SE", "SUNET", net::Asn{1653}, true, true, 3, 0.60, false, 1.5},
+      {"FI", "Funet", net::Asn{1741}, true, true, 2, 0.50, false, 1.2},
+      {"DK", "DeiC", net::Asn{1835}, true, false, 3, 0.40, false, 1.0},
+      {"CH", "SWITCH", net::Asn{559}, true, false, 3, 0.45, false, 1.5},
+      {"IT", "GARR", net::Asn{137}, true, false, 3, 0.35, false, 2.5},
+      {"AT", "ACOnet", net::Asn{1853}, true, false, 3, 0.35, false, 1.0},
+      {"PL", "PIONIER", net::Asn{8501}, true, false, 3, 0.30, false, 1.5},
+      {"CZ", "CESNET", net::Asn{2852}, true, false, 3, 0.35, false, 1.0},
+      {"BE", "Belnet", net::Asn{2611}, true, false, 3, 0.40, false, 1.0},
+      {"PT", "FCCN", net::Asn{1930}, true, false, 3, 0.35, false, 0.8},
+      {"IE", "HEAnet", net::Asn{1213}, true, false, 3, 0.40, false, 0.8},
+      {"GR", "GRNET", net::Asn{5408}, true, false, 3, 0.30, false, 0.8},
+      {"HU", "KIFU", net::Asn{1955}, true, false, 3, 0.30, false, 0.8},
+      {"RO", "RoEduNet", net::Asn{2614}, true, false, 0, 0.20, false, 0.8},
+      {"UA", "URAN", net::Asn{12687}, true, false, 0, 0.05, true, 1.0},
+      {"BY", "BASNET", net::Asn{21274}, true, false, 0, 0.05, true, 0.6},
+      {"SI", "ARNES", net::Asn{2107}, true, false, 3, 0.35, false, 0.6},
+      {"SK", "SANET", net::Asn{2607}, true, false, 3, 0.30, false, 0.6},
+      {"EE", "EENet", net::Asn{3221}, true, false, 3, 0.35, false, 0.5},
+      {"LV", "LANET", net::Asn{5538}, true, false, 3, 0.30, false, 0.5},
+      {"LT", "LITNET", net::Asn{2847}, true, false, 3, 0.30, false, 0.5},
+      // Non-European peer NRENs (not drawn in Figure 5a but part of the
+      // Peer-NREN population of Figure 8).
+      {"AU", "AARNet", net::Asn{7575}, false, true, 3, 0.60, false, 2.0},
+      {"NZ", "REANNZ", net::Asn{38022}, false, true, 3, 0.60, false, 0.8},
+      {"JP", "SINET", net::Asn{2907}, false, false, 3, 0.40, false, 2.0},
+      {"KR", "KREONET", net::Asn{17579}, false, false, 3, 0.35, false, 1.0},
+      {"BR", "RNP", net::Asn{1916}, false, false, 0, 0.05, true, 2.0},
+      {"TH", "UniNet", net::Asn{4621}, false, false, 0, 0.05, true, 1.0},
+      {"CA", "CANARIE", net::Asn{6509}, false, false, 3, 0.45, false, 2.0},
+      {"ZA", "TENET", net::Asn{2018}, false, false, 3, 0.30, false, 0.8},
+      {"IN", "NKN", net::Asn{9885}, false, false, 3, 0.25, false, 1.2},
+      {"SG", "SingAREN", net::Asn{23855}, false, false, 3, 0.40, false, 0.6},
+      {"CL", "REUNA", net::Asn{27678}, false, false, 3, 0.30, false, 0.6},
+      {"MX", "CUDI", net::Asn{18592}, false, false, 3, 0.30, false, 0.8},
+  };
+}
+
+std::vector<RegionalProfile> default_regional_profiles() {
+  // Fields: state, name, asn, provides_commodity,
+  // regional_commodity_prepend, member_prepend_probability, member_weight.
+  //
+  // NYSERNet: no commodity transit, members "conditioned to prepend" own
+  // commodity announcements (84% of NY ASes reached over R&E).
+  // CENIC: sells commodity and prepends, but some members buy additional
+  // unprepended commodity (78% for CA).
+  return {
+      {"NY", "NYSERNet", net::Asn{3754}, false, 0, 0.84, 2.2},
+      {"CA", "CENIC", net::Asn{2152}, true, 2, 0.55, 3.5},
+      {"TX", "LEARN", net::Asn{18989}, false, 0, 0.45, 2.5},
+      {"FL", "FLR", net::Asn{11096}, true, 1, 0.50, 1.8},
+      {"OH", "OARnet", net::Asn{600}, true, 2, 0.55, 1.5},
+      {"MI", "Merit", net::Asn{237}, true, 2, 0.55, 1.5},
+      {"PA", "KINBER", net::Asn{395357}, false, 0, 0.40, 1.5},
+      {"IL", "ICN", net::Asn{38}, false, 0, 0.45, 1.5},
+      {"NC", "MCNC", net::Asn{81}, true, 1, 0.50, 1.3},
+      {"GA", "SoX", net::Asn{10490}, false, 0, 0.40, 1.3},
+      {"WA", "PNWGP", net::Asn{101}, false, 0, 0.50, 1.2},
+      {"CO", "FRGP", net::Asn{104}, false, 0, 0.45, 1.0},
+      {"VA", "MARIA", net::Asn{1340}, false, 0, 0.40, 1.2},
+      {"MA", "NoX", net::Asn{10578}, false, 0, 0.50, 1.3},
+      {"NJ", "Edge", net::Asn{4249}, false, 0, 0.40, 1.0},
+      {"MD", "MDREN", net::Asn{27}, false, 0, 0.40, 0.9},
+      {"IN", "I-Light", net::Asn{19782}, false, 0, 0.45, 1.0},
+      {"WI", "WiscNet", net::Asn{2381}, true, 1, 0.50, 1.0},
+      {"MN", "GpNet", net::Asn{57}, false, 0, 0.40, 0.9},
+      {"MO", "MOREnet", net::Asn{2572}, true, 1, 0.45, 0.9},
+      {"TN", "UTK", net::Asn{590}, false, 0, 0.35, 0.8},
+      {"AL", "AREN", net::Asn{396842}, false, 0, 0.35, 0.7},
+      {"SC", "SCLR", net::Asn{26066}, false, 0, 0.35, 0.7},
+      {"LA", "LONI", net::Asn{32440}, false, 0, 0.40, 0.7},
+      {"OK", "OneNet", net::Asn{5078}, true, 1, 0.40, 0.7},
+      {"KS", "KanREN", net::Asn{2495}, false, 0, 0.40, 0.6},
+      {"NE", "NNoN", net::Asn{7896}, false, 0, 0.35, 0.5},
+      {"IA", "ICN-IA", net::Asn{5056}, false, 0, 0.35, 0.6},
+      {"AZ", "SunCorridor", net::Asn{1675}, false, 0, 0.40, 0.8},
+      {"NM", "ABQG", net::Asn{14801}, false, 0, 0.35, 0.5},
+      {"UT", "UETN", net::Asn{210}, false, 0, 0.40, 0.6},
+      {"NV", "NSHE", net::Asn{3807}, false, 0, 0.35, 0.4},
+      {"OR", "LinkOregon", net::Asn{4201}, false, 0, 0.45, 0.7},
+      {"ID", "IRON", net::Asn{396998}, false, 0, 0.35, 0.4},
+      {"MT", "MREN-MT", net::Asn{55074}, false, 0, 0.30, 0.4},
+      {"CT", "CEN", net::Asn{1620}, false, 0, 0.45, 0.7},
+      {"VT", "VTEL", net::Asn{1351}, false, 0, 0.35, 0.4},
+      {"NH", "NetworkNH", net::Asn{35}, false, 0, 0.35, 0.4},
+      {"ME", "NetworkMaine", net::Asn{531}, false, 0, 0.35, 0.4},
+      {"KY", "KyRON", net::Asn{10437}, false, 0, 0.35, 0.6},
+      {"WV", "WVNET", net::Asn{7925}, false, 0, 0.30, 0.4},
+      {"AR", "ARE-ON", net::Asn{26222}, false, 0, 0.35, 0.5},
+      {"MS", "MissiON", net::Asn{12064}, false, 0, 0.30, 0.4},
+      {"ND", "NDUS", net::Asn{18780}, false, 0, 0.30, 0.4},
+      {"SD", "SDN", net::Asn{26229}, false, 0, 0.30, 0.4},
+      {"WY", "WyoLink", net::Asn{394922}, false, 0, 0.30, 0.3},
+      {"AK", "AKOREN", net::Asn{15605}, false, 0, 0.30, 0.3},
+      {"HI", "UH", net::Asn{6360}, false, 0, 0.35, 0.4},
+      {"DE", "DTI", net::Asn{14613}, false, 0, 0.30, 0.3},
+      {"RI", "OSHEAN", net::Asn{4323}, false, 0, 0.40, 0.4},
+  };
+}
+
+namespace {
+std::vector<std::string> unique_sorted(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+}  // namespace
+
+std::vector<std::string> european_countries() {
+  std::vector<std::string> out;
+  for (const NrenProfile& p : default_nren_profiles()) {
+    if (p.european) out.push_back(p.country);
+  }
+  return unique_sorted(std::move(out));
+}
+
+std::vector<std::string> us_states() {
+  std::vector<std::string> out;
+  for (const RegionalProfile& p : default_regional_profiles()) {
+    out.push_back(p.us_state);
+  }
+  return unique_sorted(std::move(out));
+}
+
+}  // namespace re::topo

@@ -1,0 +1,70 @@
+// Geographic tables and per-country NREN behaviour profiles.
+//
+// Figure 5 of the paper maps the share of R&E-connected ASes per European
+// country / U.S. state that an equal-localpref vantage (RIPE) reaches over
+// R&E. Which side wins there is driven by country-level conventions:
+// whether the NREN also sells commodity transit, whether it prepends its
+// commodity announcements, and whether members habitually prepend theirs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.h"
+
+namespace re::topo {
+
+// Behaviour profile of a national R&E network and its member community.
+struct NrenProfile {
+  std::string country;       // ISO code
+  std::string name;          // NREN name
+  net::Asn asn;              // real ASN where well known, synthetic otherwise
+  bool european = true;
+
+  // The NREN also provides commodity transit to members (Norway/Sweden/
+  // France/Spain/Australia/New Zealand pattern in §4.3).
+  bool provides_commodity = false;
+
+  // The NREN prepends its announcements to its commodity providers.
+  std::uint32_t nren_commodity_prepend = 0;
+
+  // Probability that an individual member prepends its own commodity
+  // announcements (the NYSERNet "conditioning" of §4.3).
+  double member_prepend_probability = 0.35;
+
+  // The NREN announces member routes to a tier-1 shared with the RIPE-like
+  // vantage without prepending (the DFN / Deutsche Telekom situation) —
+  // commodity wins the tie-break at the vantage.
+  bool shares_provider_with_vantage = false;
+
+  // Relative weight when distributing international members.
+  double member_weight = 1.0;
+};
+
+// U.S. regional R&E network profile (Participant side).
+struct RegionalProfile {
+  std::string us_state;
+  std::string name;
+  net::Asn asn;
+  bool provides_commodity = false;
+  std::uint32_t regional_commodity_prepend = 0;
+  double member_prepend_probability = 0.35;
+  double member_weight = 1.0;
+};
+
+// Built-in rosters. These mix real, well-known networks (SURF, DFN,
+// NORDUnet, NYSERNet, CENIC) with synthetic fill so that regional
+// aggregates (Figure 5) have enough ASes per region to be reportable
+// (the paper requires >= 4 geolocated ASes).
+std::vector<NrenProfile> default_nren_profiles();
+std::vector<RegionalProfile> default_regional_profiles();
+
+// All countries/states appearing in the default profiles.
+std::vector<std::string> european_countries();
+std::vector<std::string> us_states();
+
+}  // namespace re::topo

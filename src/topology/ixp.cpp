@@ -1,0 +1,84 @@
+#include "topology/ixp.h"
+
+namespace re::topo {
+
+IxpScenario IxpScenario::generate(const IxpScenarioParams& params) {
+  IxpScenario scenario;
+  scenario.params = params;
+  net::Rng rng(params.seed);
+  for (int i = 0; i < params.member_count; ++i) {
+    IxpMemberSpec member;
+    member.asn = net::Asn{static_cast<std::uint32_t>(64000 + i)};
+    member.equal_localpref = rng.chance(params.p_equal_localpref);
+    member.prefers_provider =
+        !member.equal_localpref && rng.chance(params.p_prefers_provider);
+    member.peers_with_host_transit = rng.chance(params.p_peers_with_host_transit);
+    member.provider_chain = 1 + static_cast<int>(rng.below(3));
+    scenario.members.push_back(member);
+  }
+  return scenario;
+}
+
+void IxpScenario::build_network(bgp::BgpNetwork& network) const {
+  const net::Asn host = params.host;
+  const net::Asn t1 = params.host_transit;
+  const net::Asn t2 = params.second_transit;
+
+  // Tier-1 core.
+  network.connect_peering(t1, t2, /*re_edge=*/false);
+
+  // The measurement host's two sides: the IXP-facing AS (the host itself)
+  // and the transit-side announcer(s), exactly as the paper used distinct
+  // origin ASNs per announcement channel (§3.3).
+  network.connect_transit(t1, net::Asn{65001}, /*re_edge=*/false);
+  if (params.use_second_transit) {
+    network.connect_transit(t2, net::Asn{65002}, /*re_edge=*/false);
+  }
+  network.add_speaker(host);
+
+  std::uint32_t next_chain_asn = 63000;
+  for (const IxpMemberSpec& member : members) {
+    // IXP fabric: bilateral peering with the host, marked re_edge so the
+    // "arrival interface class" is observable on the session.
+    network.connect_peering(host, member.asn, /*re_edge=*/true);
+
+    // Provider chain up to one of the tier-1s.
+    net::Asn above = member.asn;
+    for (int hop = 0; hop < member.provider_chain; ++hop) {
+      const net::Asn chain_as{next_chain_asn++};
+      network.connect_transit(chain_as, above, /*re_edge=*/false);
+      above = chain_as;
+    }
+    const net::Asn core = member.asn.value() % 2 == 0 ? t1 : t2;
+    network.connect_transit(core, above, /*re_edge=*/false);
+
+    // The §5 confound: a direct (non-IXP) peering with the host's tier-1.
+    if (member.peers_with_host_transit) {
+      network.connect_peering(member.asn, t1, /*re_edge=*/false);
+    }
+
+    // Localpref stance between the IXP peer class and the provider class.
+    // All peers (IXP and direct bilateral) share one localpref class —
+    // that sameness is exactly why the direct-tier-1 confound cannot be
+    // separated (§5).
+    bgp::Speaker* speaker = network.speaker(member.asn);
+    speaker->import_policy().re_stance = bgp::ReStance::kEqualPref;
+    if (member.equal_localpref) {
+      speaker->import_policy().peer_pref = 100;
+      speaker->import_policy().provider_pref = 100;
+    } else if (member.prefers_provider) {
+      speaker->import_policy().peer_pref = 100;
+      speaker->import_policy().provider_pref = 150;
+    }
+    // Default: Gao-Rexford peer > provider ("prefers peers").
+  }
+}
+
+std::vector<net::Asn> IxpScenario::member_asns() const {
+  std::vector<net::Asn> out;
+  out.reserve(members.size());
+  for (const IxpMemberSpec& member : members) out.push_back(member.asn);
+  return out;
+}
+
+}  // namespace re::topo

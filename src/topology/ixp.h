@@ -1,0 +1,59 @@
+// IXP scenario builder (Figure 6 / §5).
+//
+// Builds the measurement setup the paper proposes for inferring relative
+// peer-vs-provider preference: a host AS connected to an IXP (modelled as
+// bilateral peering sessions with each member, marked re_edge so the
+// "interface class" is observable) and to one or two selective tier-1
+// transit providers; member ASes with configurable peer/provider localpref
+// stances, some of which also peer with the host's tier-1 (the confound
+// the paper warns about).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/asn.h"
+#include "netbase/rng.h"
+
+namespace re::topo {
+
+struct IxpMemberSpec {
+  net::Asn asn;
+  // Localpref stance between IXP-peer routes and provider routes.
+  bool equal_localpref = false;    // tie-break on AS path length
+  bool prefers_provider = false;   // otherwise prefers peers (the default)
+  // The confound: this member also peers directly with the host's tier-1,
+  // giving it two peer-class routes (§5: "impossible to isolate").
+  bool peers_with_host_transit = false;
+  // Provider chain length between the member and the tier-1 core.
+  int provider_chain = 1;
+};
+
+struct IxpScenarioParams {
+  std::uint64_t seed = 23;
+  net::Asn host{65000};
+  net::Asn host_transit{1299};     // selective tier-1 (Figure 6's Arelion)
+  net::Asn second_transit{2914};   // optional second tier-1 (§5's fallback)
+  bool use_second_transit = false;
+  int member_count = 24;
+  double p_equal_localpref = 0.3;
+  double p_prefers_provider = 0.1;
+  double p_peers_with_host_transit = 0.15;
+};
+
+struct IxpScenario {
+  IxpScenarioParams params;
+  std::vector<IxpMemberSpec> members;
+
+  static IxpScenario generate(const IxpScenarioParams& params);
+
+  // Wires the network: host <-> members over the IXP fabric (re_edge
+  // peering sessions), host under its transit(s), members under provider
+  // chains to the tier-1 core.
+  void build_network(bgp::BgpNetwork& network) const;
+
+  std::vector<net::Asn> member_asns() const;
+};
+
+}  // namespace re::topo

@@ -1,0 +1,122 @@
+// Tests for the text-rendering utilities and paper-style table renderers.
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "analysis/table.h"
+
+namespace re::analysis {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "12345"});
+  const std::string out = table.to_string();
+  // Every line is equally indented per column; spot-check structure.
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name  12345"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable table({"Column"});
+  table.add_row({"x"});
+  table.add_separator();
+  table.add_row({"y"});
+  const std::string out = table.to_string();
+  // Header rule plus explicit separator -> at least two dash runs.
+  std::size_t dashes = 0;
+  for (std::size_t pos = out.find("--"); pos != std::string::npos;
+       pos = out.find("--", pos + 2)) {
+    ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(Percent, FormatsFractions) {
+  EXPECT_EQ(percent(0.818), "81.8%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+  EXPECT_EQ(percent(1.0), "100.0%");
+  EXPECT_EQ(percent(0.07, 0), "7%");
+  EXPECT_EQ(percent(0.969, 1), "96.9%");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(12047), "12,047");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(RenderTable1, ContainsCategoriesAndTotals) {
+  core::Table1 table;
+  table.cells[core::Inference::kAlwaysRe] = {9852, 1958};
+  table.cells[core::Inference::kAlwaysCommodity] = {843, 339};
+  table.total_prefixes = 12047;
+  table.total_ases = 2574;
+  table.excluded_loss = 160;
+  const std::string out = render_table1(table, "Table 1a");
+  EXPECT_NE(out.find("Table 1a"), std::string::npos);
+  EXPECT_NE(out.find("Always R&E"), std::string::npos);
+  EXPECT_NE(out.find("9,852"), std::string::npos);
+  EXPECT_NE(out.find("81.8%"), std::string::npos);
+  EXPECT_NE(out.find("12,047"), std::string::npos);
+  EXPECT_NE(out.find("160"), std::string::npos);
+}
+
+TEST(RenderTable2, ContainsComparisonRows) {
+  core::Table2 table;
+  table.loss = 279;
+  table.mixed = 400;
+  table.oscillating = 6;
+  table.switch_to_commodity = 4;
+  table.cells[{core::Inference::kAlwaysRe, core::Inference::kAlwaysRe}] = 9569;
+  table.same = 9569;
+  table.cells[{core::Inference::kAlwaysRe, core::Inference::kSwitchToRe}] = 184;
+  table.different = 184;
+  const std::string out = render_table2(table);
+  EXPECT_NE(out.find("689"), std::string::npos);  // incomparable total
+  EXPECT_NE(out.find("9,569"), std::string::npos);
+  EXPECT_NE(out.find("184"), std::string::npos);
+}
+
+TEST(RenderTable4, FourColumns) {
+  core::Table4 table;
+  table.cells[core::PrependClass::kEqual][core::Inference::kAlwaysRe] = 3005;
+  table.totals[core::PrependClass::kEqual] = 4072;
+  const std::string out = render_table4(table);
+  EXPECT_NE(out.find("R=C"), std::string::npos);
+  EXPECT_NE(out.find("R<C"), std::string::npos);
+  EXPECT_NE(out.find("no commodity"), std::string::npos);
+  EXPECT_NE(out.find("3,005"), std::string::npos);
+  EXPECT_NE(out.find("73.8%"), std::string::npos);
+}
+
+TEST(RenderFigure5, RegionTables) {
+  core::Figure5 fig;
+  fig.prefixes_with_route = 18160;
+  fig.prefixes_via_re = 11616;
+  fig.ases_with_route = 2640;
+  fig.ases_via_re = 1688;
+  fig.europe.push_back({"NO", 10, 9});
+  fig.us_states.push_back({"NY", 74, 62});
+  const std::string out = render_figure5(fig);
+  EXPECT_NE(out.find("NO"), std::string::npos);
+  EXPECT_NE(out.find("NY"), std::string::npos);
+  EXPECT_NE(out.find("64.0%"), std::string::npos);
+}
+
+TEST(RenderGroundTruth, AccuracyLine) {
+  core::GroundTruthReport report;
+  report.ases_checked = 33;
+  report.correct = 32;
+  report.confusion[{"equal localpref", core::Inference::kSwitchToRe}] = 2;
+  const std::string out = render_ground_truth(report);
+  EXPECT_NE(out.find("32 / 33"), std::string::npos);
+  EXPECT_NE(out.find("97.0%"), std::string::npos);
+  EXPECT_NE(out.find("equal localpref"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::analysis

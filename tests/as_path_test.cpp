@@ -1,0 +1,97 @@
+// Unit tests for the AS_PATH attribute.
+#include <gtest/gtest.h>
+
+#include "bgp/as_path.h"
+
+namespace re::bgp {
+namespace {
+
+using net::Asn;
+
+TEST(AsPath, EmptyPath) {
+  const AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_FALSE(p.first().valid());
+  EXPECT_FALSE(p.origin().valid());
+  EXPECT_EQ(p.to_string(), "");
+}
+
+TEST(AsPath, FirstAndOrigin) {
+  // Figure 1's commodity path: 174 3356 2152 7377.
+  const AsPath p{Asn{174}, Asn{3356}, Asn{2152}, Asn{7377}};
+  EXPECT_EQ(p.first(), Asn{174});
+  EXPECT_EQ(p.origin(), Asn{7377});
+  EXPECT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.to_string(), "174 3356 2152 7377");
+}
+
+TEST(AsPath, ContainsDetectsLoops) {
+  const AsPath p{Asn{1}, Asn{2}, Asn{3}};
+  EXPECT_TRUE(p.contains(Asn{2}));
+  EXPECT_FALSE(p.contains(Asn{4}));
+}
+
+TEST(AsPath, PrependAddsCopiesAtFront) {
+  const AsPath base{Asn{2}, Asn{3}};
+  const AsPath p = base.prepended(Asn{1}, 3);
+  EXPECT_EQ(p.length(), 5u);
+  EXPECT_EQ(p.to_string(), "1 1 1 2 3");
+  EXPECT_EQ(p.first(), Asn{1});
+  EXPECT_EQ(p.origin(), Asn{3});
+  // The original is untouched (value semantics).
+  EXPECT_EQ(base.length(), 2u);
+}
+
+TEST(AsPath, PrependZeroCopiesIsIdentity) {
+  const AsPath base{Asn{2}, Asn{3}};
+  EXPECT_EQ(base.prepended(Asn{1}, 0), base);
+}
+
+TEST(AsPath, PrependsCountTowardLength) {
+  // BGP counts every repetition when comparing path lengths — the exact
+  // mechanism the paper's prepend schedule exploits.
+  AsPath p{Asn{7}};
+  EXPECT_EQ(p.prepended(Asn{7}, 4).length(), 5u);
+}
+
+TEST(AsPath, CountRepetitions) {
+  const AsPath p{Asn{5}, Asn{5}, Asn{5}, Asn{9}};
+  EXPECT_EQ(p.count(Asn{5}), 3u);
+  EXPECT_EQ(p.count(Asn{9}), 1u);
+  EXPECT_EQ(p.count(Asn{1}), 0u);
+}
+
+TEST(AsPath, UniqueCountIgnoresPrepends) {
+  const AsPath p{Asn{5}, Asn{5}, Asn{9}, Asn{9}, Asn{9}};
+  EXPECT_EQ(p.unique_count(), 2u);
+  EXPECT_EQ(p.length(), 5u);
+}
+
+TEST(AsPath, EqualityIsElementWise) {
+  const AsPath a{Asn{1}, Asn{2}};
+  const AsPath b{Asn{1}, Asn{2}};
+  const AsPath c{Asn{2}, Asn{1}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+class AsPathPrependLength
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AsPathPrependLength, LengthIsBasePlusCopies) {
+  const auto [base_len, copies] = GetParam();
+  std::vector<Asn> asns;
+  for (std::size_t i = 0; i < base_len; ++i) {
+    asns.push_back(Asn{static_cast<std::uint32_t>(100 + i)});
+  }
+  const AsPath base(asns);
+  EXPECT_EQ(base.prepended(Asn{55}, copies).length(), base_len + copies);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AsPathPrependLength,
+                         ::testing::Combine(::testing::Values(0u, 1u, 3u, 8u),
+                                            ::testing::Values(1u, 2u, 4u, 5u)));
+
+}  // namespace
+}  // namespace re::bgp

@@ -1,0 +1,189 @@
+// Tests for the prefix-level inference classifier.
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+
+namespace re::core {
+namespace {
+
+constexpr int kReVlan = 17;
+constexpr int kCommVlan = 18;
+
+probing::PrefixRoundResult make_round(std::vector<std::optional<int>> vlans) {
+  probing::PrefixRoundResult round;
+  round.prefix = *net::Prefix::parse("128.0.0.0/24");
+  std::uint32_t offset = 1;
+  for (const auto& vlan : vlans) {
+    probing::ProbeOutcome outcome;
+    outcome.address = round.prefix.address_at(offset++);
+    outcome.responded = vlan.has_value();
+    outcome.vlan_id = vlan.value_or(-1);
+    round.outcomes.push_back(outcome);
+  }
+  return round;
+}
+
+PrefixObservation make_observation(const std::vector<std::string>& rounds) {
+  // Round spec strings: each char is a system: 'r' (R&E), 'c' (commodity),
+  // '.' (no response).
+  PrefixObservation obs;
+  obs.prefix = *net::Prefix::parse("128.0.0.0/24");
+  obs.origin = net::Asn{50001};
+  for (const std::string& spec : rounds) {
+    std::vector<std::optional<int>> vlans;
+    for (const char ch : spec) {
+      if (ch == 'r') {
+        vlans.push_back(kReVlan);
+      } else if (ch == 'c') {
+        vlans.push_back(kCommVlan);
+      } else {
+        vlans.push_back(std::nullopt);
+      }
+    }
+    obs.rounds.push_back(make_round(std::move(vlans)));
+  }
+  return obs;
+}
+
+// ------------------------------------------------------------- round_state
+
+TEST(RoundState, AllReIsRe) {
+  EXPECT_EQ(round_state(make_round({kReVlan, kReVlan}), kReVlan), RoundState::kRe);
+}
+
+TEST(RoundState, AllCommodityIsCommodity) {
+  EXPECT_EQ(round_state(make_round({kCommVlan}), kReVlan),
+            RoundState::kCommodity);
+}
+
+TEST(RoundState, SplitIsMixed) {
+  EXPECT_EQ(round_state(make_round({kReVlan, kCommVlan, kReVlan}), kReVlan),
+            RoundState::kMixed);
+}
+
+TEST(RoundState, NoResponsesIsLoss) {
+  EXPECT_EQ(round_state(make_round({std::nullopt, std::nullopt}), kReVlan),
+            RoundState::kLoss);
+}
+
+TEST(RoundState, NonRespondersIgnoredWhenOthersRespond) {
+  EXPECT_EQ(round_state(make_round({std::nullopt, kReVlan}), kReVlan),
+            RoundState::kRe);
+}
+
+// --------------------------------------------------------- classify_prefix
+
+struct ClassifyCase {
+  std::vector<std::string> rounds;
+  Inference expected;
+  std::optional<int> first_re;
+};
+
+class ClassifyPrefix : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyPrefix, MatchesExpected) {
+  const auto& param = GetParam();
+  const PrefixInference result =
+      classify_prefix(make_observation(param.rounds), kReVlan);
+  EXPECT_EQ(result.inference, param.expected);
+  EXPECT_EQ(result.first_re_round, param.first_re);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sequences, ClassifyPrefix,
+    ::testing::Values(
+        // The nine-round shapes of §4.
+        ClassifyCase{{"rrr", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kAlwaysRe, 0},
+        ClassifyCase{{"ccc", "ccc", "ccc", "ccc", "ccc", "ccc", "ccc", "ccc",
+                      "ccc"},
+                     Inference::kAlwaysCommodity, std::nullopt},
+        // Equal-localpref signature: commodity, then R&E, no further flips.
+        ClassifyCase{{"ccc", "ccc", "ccc", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kSwitchToRe, 3},
+        ClassifyCase{{"ccc", "ccc", "ccc", "ccc", "ccc", "ccc", "ccc", "ccc",
+                      "rrr"},
+                     Inference::kSwitchToRe, 8},
+        // Outage: R&E reverts to commodity and stays.
+        ClassifyCase{{"rrr", "rrr", "rrr", "rrr", "rrr", "rrr", "ccc", "ccc",
+                      "ccc"},
+                     Inference::kSwitchToCommodity, 0},
+        // Multiple transitions.
+        ClassifyCase{{"rrr", "ccc", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kOscillating, 0},
+        ClassifyCase{{"ccc", "rrr", "ccc", "rrr", "ccc", "rrr", "ccc", "rrr",
+                      "ccc"},
+                     Inference::kOscillating, 1},
+        // Any split round makes the prefix Mixed, regardless of the rest.
+        ClassifyCase{{"rrr", "rrc", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kMixed, 0},
+        // A mixed round is not an R&E round: first_re_round is the first
+        // all-R&E round.
+        ClassifyCase{{"ccc", "ccc", "crr", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kMixed, 3},
+        // Any all-loss round excludes the prefix.
+        ClassifyCase{{"rrr", "...", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr",
+                      "rrr"},
+                     Inference::kExcludedLoss, 0},
+        // Partial responses still classify.
+        ClassifyCase{{"r..", "r..", ".r.", "rr.", "rrr", "r..", "rrr", "rrr",
+                      "r.."},
+                     Inference::kAlwaysRe, 0}));
+
+TEST(ClassifyPrefix, MixedTakesPrecedenceOverLossFreeSwitch) {
+  // One mixed round inside an otherwise clean switch sequence -> Mixed.
+  const auto obs = make_observation(
+      {"ccc", "ccc", "rcc", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr"});
+  EXPECT_EQ(classify_prefix(obs, kReVlan).inference, Inference::kMixed);
+}
+
+TEST(ClassifyPrefix, LossTakesPrecedenceOverMixed) {
+  const auto obs = make_observation(
+      {"rcc", "...", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr", "rrr"});
+  EXPECT_EQ(classify_prefix(obs, kReVlan).inference, Inference::kExcludedLoss);
+}
+
+// ------------------------------------------------------------------ table1
+
+TEST(Table1, CountsPrefixesAndDistinctAses) {
+  std::vector<PrefixInference> inferences;
+  auto add = [&](std::uint32_t origin, Inference inference) {
+    PrefixInference p;
+    p.origin = net::Asn{origin};
+    p.prefix = net::Prefix(net::IPv4Address(origin << 8), 24);
+    p.inference = inference;
+    inferences.push_back(p);
+  };
+  add(1, Inference::kAlwaysRe);
+  add(1, Inference::kAlwaysRe);
+  add(1, Inference::kMixed);  // same AS in two categories
+  add(2, Inference::kAlwaysCommodity);
+  add(3, Inference::kSwitchToRe);
+  add(3, Inference::kExcludedLoss);
+
+  const Table1 table = summarize_table1(inferences);
+  EXPECT_EQ(table.total_prefixes, 5u);
+  EXPECT_EQ(table.total_ases, 3u);
+  EXPECT_EQ(table.excluded_loss, 1u);
+  EXPECT_EQ(table.cells.at(Inference::kAlwaysRe).prefixes, 2u);
+  EXPECT_EQ(table.cells.at(Inference::kAlwaysRe).ases, 1u);
+  EXPECT_EQ(table.cells.at(Inference::kMixed).ases, 1u);
+  EXPECT_NEAR(table.prefix_share(Inference::kAlwaysRe), 0.4, 1e-9);
+  EXPECT_EQ(table.prefix_share(Inference::kOscillating), 0.0);
+}
+
+TEST(InferenceStrings, HumanReadable) {
+  EXPECT_EQ(to_string(Inference::kAlwaysRe), "Always R&E");
+  EXPECT_EQ(to_string(Inference::kSwitchToRe), "Switch to R&E");
+  EXPECT_EQ(to_string(Inference::kMixed), "Mixed R&E + commodity");
+  EXPECT_EQ(to_string(RoundState::kRe), "R&E");
+  EXPECT_EQ(to_string(RoundState::kLoss), "loss");
+}
+
+}  // namespace
+}  // namespace re::core

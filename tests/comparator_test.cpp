@@ -1,0 +1,93 @@
+// Tests for the cross-experiment comparison (Table 2).
+#include <gtest/gtest.h>
+
+#include "core/comparator.h"
+
+namespace re::core {
+namespace {
+
+PrefixInference make(std::uint32_t id, Inference inference,
+                     std::optional<int> first_re = std::nullopt,
+                     topo::ReSide side = topo::ReSide::kParticipant) {
+  PrefixInference p;
+  p.prefix = net::Prefix(net::IPv4Address(id << 10), 22);
+  p.origin = net::Asn{50000 + id % 100};
+  p.inference = inference;
+  p.first_re_round = first_re;
+  p.side = side;
+  return p;
+}
+
+TEST(Comparator, SameInferencesCounted) {
+  std::vector<PrefixInference> a{make(1, Inference::kAlwaysRe),
+                                 make(2, Inference::kAlwaysCommodity),
+                                 make(3, Inference::kSwitchToRe)};
+  const Table2 table = compare_experiments(a, a);
+  EXPECT_EQ(table.same, 3u);
+  EXPECT_EQ(table.different, 0u);
+  EXPECT_EQ(table.comparable(), 3u);
+  EXPECT_EQ(table.incomparable(), 0u);
+  EXPECT_EQ(table.cell(Inference::kAlwaysRe, Inference::kAlwaysRe), 1u);
+}
+
+TEST(Comparator, DifferentInferencesCrossTabulated) {
+  std::vector<PrefixInference> a{make(1, Inference::kAlwaysRe)};
+  std::vector<PrefixInference> b{make(1, Inference::kSwitchToRe)};
+  const Table2 table = compare_experiments(a, b);
+  EXPECT_EQ(table.different, 1u);
+  EXPECT_EQ(table.cell(Inference::kAlwaysRe, Inference::kSwitchToRe), 1u);
+  EXPECT_EQ(table.cell(Inference::kSwitchToRe, Inference::kAlwaysRe), 0u);
+}
+
+TEST(Comparator, IncomparableReasonsInPaperOrder) {
+  // A prefix is charged to the first applicable reason: loss, then mixed,
+  // then oscillating, then switch-to-commodity.
+  std::vector<PrefixInference> a{
+      make(1, Inference::kExcludedLoss), make(2, Inference::kMixed),
+      make(3, Inference::kOscillating), make(4, Inference::kSwitchToCommodity),
+      make(5, Inference::kExcludedLoss)};
+  std::vector<PrefixInference> b{
+      make(1, Inference::kAlwaysRe), make(2, Inference::kAlwaysRe),
+      make(3, Inference::kAlwaysRe), make(4, Inference::kAlwaysRe),
+      make(5, Inference::kMixed)};  // loss in a wins over mixed in b
+  const Table2 table = compare_experiments(a, b);
+  EXPECT_EQ(table.loss, 2u);
+  EXPECT_EQ(table.mixed, 1u);
+  EXPECT_EQ(table.oscillating, 1u);
+  EXPECT_EQ(table.switch_to_commodity, 1u);
+  EXPECT_EQ(table.incomparable(), 5u);
+  EXPECT_EQ(table.comparable(), 0u);
+}
+
+TEST(Comparator, MixedInSecondExperimentAlsoIncomparable) {
+  std::vector<PrefixInference> a{make(1, Inference::kAlwaysRe)};
+  std::vector<PrefixInference> b{make(1, Inference::kMixed)};
+  const Table2 table = compare_experiments(a, b);
+  EXPECT_EQ(table.mixed, 1u);
+  EXPECT_EQ(table.comparable(), 0u);
+}
+
+TEST(Comparator, UnmatchedPrefixesIgnored) {
+  std::vector<PrefixInference> a{make(1, Inference::kAlwaysRe),
+                                 make(2, Inference::kAlwaysRe)};
+  std::vector<PrefixInference> b{make(1, Inference::kAlwaysRe)};
+  const Table2 table = compare_experiments(a, b);
+  EXPECT_EQ(table.comparable(), 1u);
+}
+
+TEST(SwitchingInBoth, RequiresSwitchInBothExperiments) {
+  std::vector<PrefixInference> a{make(1, Inference::kSwitchToRe, 3),
+                                 make(2, Inference::kSwitchToRe, 4),
+                                 make(3, Inference::kAlwaysRe, 0)};
+  std::vector<PrefixInference> b{make(1, Inference::kSwitchToRe, 5),
+                                 make(2, Inference::kAlwaysRe, 0),
+                                 make(3, Inference::kSwitchToRe, 2)};
+  const auto pairs = switching_in_both(a, b);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first->prefix, a[0].prefix);
+  EXPECT_EQ(pairs[0].first->first_re_round, 3);
+  EXPECT_EQ(pairs[0].second->first_re_round, 5);
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,80 @@
+// Tests for CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/csv.h"
+
+namespace re::analysis {
+namespace {
+
+TEST(CsvWriter, EscapesPerRfc4180) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "x,y"});
+  csv.add_row({"2"});  // short row padded with an empty cell
+  EXPECT_EQ(csv.str(), "a,b\n1,\"x,y\"\n2,\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(CsvWriter, WritesFile) {
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"one", "1"});
+  const std::string path = "/tmp/re_csv_test.csv";
+  ASSERT_TRUE(csv.write(path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_STREQ(buffer, "k,v\none,1\n");
+}
+
+TEST(CsvExports, Table1) {
+  core::Table1 table;
+  table.cells[core::Inference::kAlwaysRe] = {9852, 1958};
+  table.total_prefixes = 12047;
+  const std::string csv = table1_csv(table);
+  EXPECT_NE(csv.find("inference,prefixes"), std::string::npos);
+  EXPECT_NE(csv.find("Always R&E,9852"), std::string::npos);
+}
+
+TEST(CsvExports, Figure5BothPanels) {
+  core::Figure5 figure;
+  figure.europe.push_back({"NO", 10, 9});
+  figure.us_states.push_back({"NY", 74, 62});
+  const std::string csv = figure5_csv(figure);
+  EXPECT_NE(csv.find("europe,NO,10,9"), std::string::npos);
+  EXPECT_NE(csv.find("us,NY,74,62"), std::string::npos);
+}
+
+TEST(CsvExports, SwitchCdfSeries) {
+  core::SwitchCdf cdf;
+  cdf.config_labels = {"4-0", "3-0"};
+  cdf.peer_nren = {0.1, 0.4};
+  cdf.participant = {0.0, 0.2};
+  const std::string csv = switch_cdf_csv(cdf);
+  EXPECT_NE(csv.find("4-0,0.1"), std::string::npos);
+  EXPECT_NE(csv.find("3-0,0.4"), std::string::npos);
+}
+
+TEST(CsvExports, Inferences) {
+  std::vector<core::PrefixInference> inferences(1);
+  inferences[0].prefix = *net::Prefix::parse("128.0.0.0/24");
+  inferences[0].origin = net::Asn{50001};
+  inferences[0].inference = core::Inference::kSwitchToRe;
+  inferences[0].first_re_round = 4;
+  const std::string csv = inferences_csv(inferences);
+  EXPECT_NE(csv.find("128.0.0.0/24,50001"), std::string::npos);
+  EXPECT_NE(csv.find("Switch to R&E,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::analysis

@@ -1,0 +1,250 @@
+// Unit and property tests for the BGP decision process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/decision.h"
+#include "netbase/rng.h"
+
+namespace re::bgp {
+namespace {
+
+using net::Asn;
+
+Route make_route(std::uint32_t local_pref, std::size_t path_len,
+                 Asn neighbor = Asn{100}) {
+  Route r;
+  r.local_pref = local_pref;
+  std::vector<Asn> asns;
+  asns.push_back(neighbor);
+  for (std::size_t i = 1; i < path_len; ++i) {
+    asns.push_back(Asn{static_cast<std::uint32_t>(1000 + i)});
+  }
+  r.path = AsPath(asns);
+  r.learned_from = neighbor;
+  r.neighbor_router_id = neighbor.value();
+  return r;
+}
+
+TEST(Decision, LocalPrefDominatesPathLength) {
+  // Figure 1: a higher localpref makes selection insensitive to AS path
+  // length — the paper's central mechanism.
+  const Route re = make_route(120, 9, Asn{1});
+  const Route commodity = make_route(100, 2, Asn{2});
+  DecisionConfig config;
+  EXPECT_TRUE(better_route(re, commodity, config));
+  EXPECT_FALSE(better_route(commodity, re, config));
+}
+
+TEST(Decision, PathLengthBreaksEqualLocalPref) {
+  const Route shorter = make_route(100, 2, Asn{1});
+  const Route longer = make_route(100, 3, Asn{2});
+  DecisionConfig config;
+  EXPECT_TRUE(better_route(shorter, longer, config));
+  const Route routes[] = {longer, shorter};
+  const DecisionResult result = select_best(routes, config);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.decided_by, DecisionStep::kAsPathLength);
+}
+
+TEST(Decision, PathLengthIgnoredWhenDisabled) {
+  DecisionConfig config;
+  config.use_as_path_length = false;
+  Route shorter = make_route(100, 2, Asn{1});
+  Route longer = make_route(100, 5, Asn{2});
+  longer.neighbor_router_id = 1;  // wins the final tie-break
+  shorter.neighbor_router_id = 2;
+  EXPECT_TRUE(better_route(longer, shorter, config));
+}
+
+TEST(Decision, OriginPreferenceOrder) {
+  DecisionConfig config;
+  Route igp = make_route(100, 2, Asn{1});
+  igp.origin = Origin::kIgp;
+  Route egp = make_route(100, 2, Asn{2});
+  egp.origin = Origin::kEgp;
+  Route incomplete = make_route(100, 2, Asn{3});
+  incomplete.origin = Origin::kIncomplete;
+  EXPECT_TRUE(better_route(igp, egp, config));
+  EXPECT_TRUE(better_route(egp, incomplete, config));
+  EXPECT_TRUE(better_route(igp, incomplete, config));
+}
+
+TEST(Decision, MedComparedOnlyForSameNeighborAs) {
+  DecisionConfig config;
+  Route a = make_route(100, 2, Asn{1});
+  a.med = 50;
+  Route b = make_route(100, 2, Asn{1});
+  b.med = 10;
+  b.neighbor_router_id = 9999;  // would lose router-id tie-break
+  EXPECT_TRUE(better_route(b, a, config));  // lower MED, same neighbor AS
+
+  // Different first-hop AS: MED ignored, falls through to later steps.
+  Route c = make_route(100, 2, Asn{2});
+  c.med = 500;
+  c.neighbor_router_id = 0;  // wins the router-id comparison instead
+  EXPECT_TRUE(better_route(c, a, config));
+}
+
+TEST(Decision, MedIgnoredWhenDisabled) {
+  DecisionConfig config;
+  config.use_med = false;
+  Route a = make_route(100, 2, Asn{1});
+  a.med = 50;
+  a.neighbor_router_id = 1;
+  Route b = make_route(100, 2, Asn{1});
+  b.med = 10;
+  b.neighbor_router_id = 2;
+  EXPECT_TRUE(better_route(a, b, config));  // router-id decides instead
+}
+
+TEST(Decision, EbgpPreferredOverIbgp) {
+  DecisionConfig config;
+  Route ebgp = make_route(100, 2, Asn{1});
+  Route local = make_route(100, 2, Asn{2});
+  local.ebgp = false;
+  EXPECT_TRUE(better_route(ebgp, local, config));
+}
+
+TEST(Decision, IgpCostBreaksTie) {
+  DecisionConfig config;
+  Route near = make_route(100, 2, Asn{1});
+  near.igp_cost = 5;
+  near.neighbor_router_id = 100;
+  Route far = make_route(100, 2, Asn{2});
+  far.igp_cost = 50;
+  far.neighbor_router_id = 1;
+  EXPECT_TRUE(better_route(near, far, config));
+}
+
+TEST(Decision, RouteAgeUsedOnlyWhenEnabled) {
+  Route old_route = make_route(100, 2, Asn{1});
+  old_route.established_at = 100;
+  old_route.neighbor_router_id = 9;
+  Route new_route = make_route(100, 2, Asn{2});
+  new_route.established_at = 5000;
+  new_route.neighbor_router_id = 1;
+
+  DecisionConfig with_age;
+  with_age.use_route_age = true;
+  EXPECT_TRUE(better_route(old_route, new_route, with_age));
+
+  DecisionConfig without_age;  // default: deterministic router-id instead
+  EXPECT_TRUE(better_route(new_route, old_route, without_age));
+}
+
+TEST(Decision, RouterIdIsFinalDeterministicTieBreak) {
+  DecisionConfig config;
+  Route a = make_route(100, 2, Asn{1});
+  a.neighbor_router_id = 7;
+  Route b = make_route(100, 2, Asn{2});
+  b.neighbor_router_id = 8;
+  EXPECT_TRUE(better_route(a, b, config));
+  EXPECT_FALSE(better_route(b, a, config));
+}
+
+TEST(Decision, SelectBestSingleRoute) {
+  const Route only = make_route(100, 2);
+  const Route routes[] = {only};
+  const DecisionResult result = select_best(routes, DecisionConfig{});
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_EQ(result.decided_by, DecisionStep::kOnlyRoute);
+}
+
+TEST(Decision, BestIndexEmptyIsNullopt) {
+  EXPECT_FALSE(best_index({}, DecisionConfig{}).has_value());
+}
+
+TEST(Decision, DecidedByReportsLocalPref) {
+  const Route a = make_route(200, 5, Asn{1});
+  const Route b = make_route(100, 2, Asn{2});
+  const Route routes[] = {b, a};
+  const DecisionResult result = select_best(routes, DecisionConfig{});
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.decided_by, DecisionStep::kLocalPref);
+}
+
+TEST(Decision, ToStringCoversAllSteps) {
+  for (const DecisionStep step :
+       {DecisionStep::kOnlyRoute, DecisionStep::kLocalPref,
+        DecisionStep::kAsPathLength, DecisionStep::kOrigin, DecisionStep::kMed,
+        DecisionStep::kEbgp, DecisionStep::kIgpCost, DecisionStep::kRouteAge,
+        DecisionStep::kRouterId}) {
+    EXPECT_NE(to_string(step), "?");
+  }
+}
+
+// ---------------------------------------------------- property-style tests
+
+// The winner under select_best is never strictly worse than any candidate
+// under pairwise comparison (MED's scoped comparison can make `better`
+// non-transitive in contrived cases; with distinct router ids and MED
+// disabled it is a strict weak ordering).
+TEST(DecisionProperty, WinnerBeatsAllOthersWithoutMed) {
+  net::Rng rng(123);
+  DecisionConfig config;
+  config.use_med = false;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Route> routes;
+    const int n = 2 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < n; ++i) {
+      Route r = make_route(
+          100 + static_cast<std::uint32_t>(rng.below(3)) * 10,
+          1 + rng.below(5), Asn{static_cast<std::uint32_t>(10 + i)});
+      r.igp_cost = static_cast<std::uint32_t>(rng.below(3));
+      r.neighbor_router_id = static_cast<std::uint32_t>(i);
+      routes.push_back(r);
+    }
+    const DecisionResult result = select_best(routes, config);
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      if (i == result.best_index) continue;
+      EXPECT_FALSE(better_route(routes[i], routes[result.best_index], config))
+          << "trial " << trial;
+    }
+  }
+}
+
+// Selection is insensitive to candidate order when the ordering is strict.
+TEST(DecisionProperty, OrderInvariantWithoutMed) {
+  net::Rng rng(321);
+  DecisionConfig config;
+  config.use_med = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Route> routes;
+    const int n = 2 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < n; ++i) {
+      Route r = make_route(
+          100 + static_cast<std::uint32_t>(rng.below(2)) * 20,
+          1 + rng.below(4), Asn{static_cast<std::uint32_t>(10 + i)});
+      r.neighbor_router_id = static_cast<std::uint32_t>(i);
+      routes.push_back(r);
+    }
+    const Route& winner = routes[select_best(routes, config).best_index];
+    std::vector<Route> shuffled = routes;
+    rng.shuffle(shuffled);
+    const Route& winner2 = shuffled[select_best(shuffled, config).best_index];
+    EXPECT_EQ(winner.learned_from, winner2.learned_from) << "trial " << trial;
+  }
+}
+
+// Localpref strictly dominates: raising a loser's localpref above the
+// winner's always flips the outcome.
+TEST(DecisionProperty, LocalPrefDominance) {
+  net::Rng rng(555);
+  DecisionConfig config;
+  for (int trial = 0; trial < 100; ++trial) {
+    Route a = make_route(100, 1 + rng.below(6), Asn{1});
+    Route b = make_route(100, 1 + rng.below(6), Asn{2});
+    a.neighbor_router_id = 1;
+    b.neighbor_router_id = 2;
+    Route& loser = better_route(a, b, config) ? b : a;
+    loser.local_pref = 150;
+    const Route routes[] = {a, b};
+    const DecisionResult result = select_best(routes, config);
+    EXPECT_EQ(routes[result.best_index].local_pref, 150u);
+    EXPECT_EQ(result.decided_by, DecisionStep::kLocalPref);
+  }
+}
+
+}  // namespace
+}  // namespace re::bgp

@@ -1,0 +1,58 @@
+// Small formatting/utility coverage: route rendering, prepend-config
+// labels, and experiment naming.
+#include <gtest/gtest.h>
+
+#include "bgp/route.h"
+#include "core/experiment.h"
+
+namespace re {
+namespace {
+
+TEST(RouteToString, RendersPathAndSource) {
+  bgp::Route route;
+  route.prefix = *net::Prefix::parse("163.253.63.0/24");
+  route.path = bgp::AsPath{net::Asn{3754}, net::Asn{11537}};
+  route.local_pref = 120;
+  route.learned_from = net::Asn{3754};
+  const std::string text = route.to_string();
+  EXPECT_NE(text.find("163.253.63.0/24"), std::string::npos);
+  EXPECT_NE(text.find("3754 11537"), std::string::npos);
+  EXPECT_NE(text.find("lp 120"), std::string::npos);
+  EXPECT_NE(text.find("AS3754"), std::string::npos);
+}
+
+TEST(RouteToString, LocalRoute) {
+  bgp::Route route;
+  route.prefix = *net::Prefix::parse("10.0.0.0/8");
+  const std::string text = route.to_string();
+  EXPECT_NE(text.find("local"), std::string::npos);
+}
+
+TEST(PrependConfig, LabelsMatchPaperNotation) {
+  EXPECT_EQ((core::PrependConfig{4, 0}).label(), "4-0");
+  EXPECT_EQ((core::PrependConfig{0, 0}).label(), "0-0");
+  EXPECT_EQ((core::PrependConfig{0, 4}).label(), "0-4");
+}
+
+TEST(PaperSchedule, NineConfigsInPaperOrder) {
+  const auto schedule = core::paper_schedule();
+  ASSERT_EQ(schedule.size(), 9u);
+  // Monotone: R&E prepends decrease to zero, then commodity increases.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i].re, schedule[i - 1].re);
+    EXPECT_GE(schedule[i].comm, schedule[i - 1].comm);
+  }
+  EXPECT_EQ(schedule.front().label(), "4-0");
+  EXPECT_EQ(schedule[4].label(), "0-0");
+  EXPECT_EQ(schedule.back().label(), "0-4");
+}
+
+TEST(ExperimentNames, HumanReadable) {
+  EXPECT_NE(to_string(core::ReExperiment::kSurf).find("SURF"),
+            std::string::npos);
+  EXPECT_NE(to_string(core::ReExperiment::kInternet2).find("Internet2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace re

@@ -1,0 +1,136 @@
+// Tests for the Gao-Rexford conformance analysis.
+#include <gtest/gtest.h>
+
+#include "core/gao_rexford.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+namespace {
+
+using net::Asn;
+
+bgp::Speaker make_speaker(std::uint32_t customer_pref, std::uint32_t peer_pref,
+                          std::uint32_t provider_pref,
+                          bool with_customer = true, bool with_peer = true,
+                          bool with_provider = true) {
+  bgp::Speaker speaker(Asn{42});
+  speaker.import_policy().customer_pref = customer_pref;
+  speaker.import_policy().peer_pref = peer_pref;
+  speaker.import_policy().provider_pref = provider_pref;
+  speaker.import_policy().re_stance = bgp::ReStance::kEqualPref;
+  bgp::Session s;
+  if (with_customer) {
+    s.neighbor = Asn{1};
+    s.relationship = bgp::Relationship::kCustomer;
+    speaker.add_session(s);
+  }
+  if (with_peer) {
+    s.neighbor = Asn{2};
+    s.relationship = bgp::Relationship::kPeer;
+    speaker.add_session(s);
+  }
+  if (with_provider) {
+    s.neighbor = Asn{3};
+    s.relationship = bgp::Relationship::kProvider;
+    speaker.add_session(s);
+  }
+  return speaker;
+}
+
+TEST(GaoRexford, StrictOrderConforms) {
+  const auto report = classify_gao_rexford(make_speaker(200, 150, 100));
+  EXPECT_EQ(report.classification, GaoRexfordClass::kConforms);
+  EXPECT_EQ(report.customer_pref, 200u);
+  EXPECT_EQ(report.peer_pref, 150u);
+  EXPECT_EQ(report.provider_pref, 100u);
+}
+
+TEST(GaoRexford, PeerProviderEqualDetected) {
+  // Kastanakis et al.: "some ASes assigned the same localpref to
+  // peer/provider ... routes".
+  const auto report = classify_gao_rexford(make_speaker(200, 100, 100));
+  EXPECT_EQ(report.classification, GaoRexfordClass::kPeerProviderEqual);
+}
+
+TEST(GaoRexford, CustomerPeerEqualDetected) {
+  const auto report = classify_gao_rexford(make_speaker(150, 150, 100));
+  EXPECT_EQ(report.classification, GaoRexfordClass::kCustomerPeerEqual);
+}
+
+TEST(GaoRexford, InversionViolates) {
+  EXPECT_EQ(classify_gao_rexford(make_speaker(100, 150, 200)).classification,
+            GaoRexfordClass::kViolates);
+  EXPECT_EQ(classify_gao_rexford(make_speaker(200, 100, 150)).classification,
+            GaoRexfordClass::kViolates);
+}
+
+TEST(GaoRexford, SingleClassIsTrivial) {
+  EXPECT_EQ(classify_gao_rexford(make_speaker(200, 150, 100, true, false, false))
+                .classification,
+            GaoRexfordClass::kTrivial);
+  EXPECT_EQ(classify_gao_rexford(make_speaker(200, 150, 100, false, false, true))
+                .classification,
+            GaoRexfordClass::kTrivial);
+}
+
+TEST(GaoRexford, TwoClassesRanked) {
+  // Peer + provider only (a typical stub with peering).
+  const auto equal = classify_gao_rexford(
+      make_speaker(200, 100, 100, false, true, true));
+  EXPECT_EQ(equal.classification, GaoRexfordClass::kPeerProviderEqual);
+  const auto conforming = classify_gao_rexford(
+      make_speaker(200, 150, 100, false, true, true));
+  EXPECT_EQ(conforming.classification, GaoRexfordClass::kConforms);
+}
+
+TEST(GaoRexford, EcosystemMostlyConforms) {
+  // The planted world follows Gao-Rexford with the R&E equal-localpref
+  // minority — mirroring Wang & Gao's ">99% of assignments" and the
+  // later studies' partial-equality exceptions.
+  topo::EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  bgp::BgpNetwork network(5);
+  eco.build_network(network);
+
+  // Members are stubs (providers only, hence trivial); the rankable
+  // population is the transit layer — NRENs, regionals, tier-1s, transits.
+  const GaoRexfordSummary summary = analyze_gao_rexford(network);
+  ASSERT_GT(summary.ranked(), 50u);
+  EXPECT_GT(summary.conformance_rate(), 0.5);
+  // Nothing in the generator inverts the hierarchy outright.
+  const auto violations = summary.counts.find(GaoRexfordClass::kViolates);
+  if (violations != summary.counts.end()) {
+    EXPECT_LT(violations->second, summary.ranked() / 4);
+  }
+  // Stub members classify as trivial.
+  std::size_t member_trivial = 0;
+  for (const auto& report : summary.per_as) {
+    for (const net::Asn member : eco.members()) {
+      if (report.asn == member &&
+          report.classification == GaoRexfordClass::kTrivial) {
+        ++member_trivial;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(member_trivial, eco.members().size() / 2);
+}
+
+TEST(GaoRexford, SummaryCountsMatchPerAsReports) {
+  topo::EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = 20250529;
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  bgp::BgpNetwork network(5);
+  eco.build_network(network);
+  const GaoRexfordSummary summary = analyze_gao_rexford(network);
+  std::map<GaoRexfordClass, std::size_t> recount;
+  for (const auto& report : summary.per_as) ++recount[report.classification];
+  EXPECT_EQ(recount, summary.counts);
+  EXPECT_EQ(summary.per_as.size(), network.speaker_count());
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,90 @@
+// Parameterized robustness sweep: the full pipeline's qualitative shape
+// (Table 1 bands, switch monotonicity, validation accuracy) must hold
+// across independently generated worlds, not just the calibration seed.
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/comparator.h"
+#include "core/experiment.h"
+#include "core/validator.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+namespace {
+
+struct SweepWorld {
+  topo::Ecosystem ecosystem;
+  std::vector<PrefixInference> surf, internet2;
+  GroundTruthReport truth;
+};
+
+SweepWorld run_world(std::uint64_t seed) {
+  topo::EcosystemParams params;
+  params = params.scaled(0.07);
+  params.seed = seed;
+  SweepWorld world{topo::Ecosystem::generate(params), {}, {}, {}};
+  const probing::SeedDatabase db = probing::SeedDatabase::generate(
+      world.ecosystem, probing::SeedGenParams{seed ^ 7, /*rest default*/});
+  const probing::SelectionResult selection =
+      probing::select_probe_seeds(world.ecosystem, db, seed ^ 11);
+
+  for (const ReExperiment which :
+       {ReExperiment::kSurf, ReExperiment::kInternet2}) {
+    ExperimentConfig config;
+    config.experiment = which;
+    config.seed = seed ^ (which == ReExperiment::kSurf ? 501 : 502);
+    const ExperimentResult result =
+        ExperimentController(world.ecosystem, selection.seeds, config).run();
+    auto& out = which == ReExperiment::kSurf ? world.surf : world.internet2;
+    out = classify_experiment(result);
+  }
+  world.truth = validate_against_plant(world.internet2, world.ecosystem);
+  return world;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSweep, ShapeHolds) {
+  const SweepWorld world = run_world(GetParam());
+
+  for (const auto* inferences : {&world.surf, &world.internet2}) {
+    const Table1 table = summarize_table1(*inferences);
+    ASSERT_GT(table.total_prefixes, 300u);
+    // The paper's bands, with slack for small worlds: Always R&E
+    // dominates, commodity is the second block, switch is the signal,
+    // mixed small, degenerates near zero.
+    EXPECT_GT(table.prefix_share(Inference::kAlwaysRe), 0.65);
+    EXPECT_LT(table.prefix_share(Inference::kAlwaysCommodity), 0.20);
+    EXPECT_GT(table.prefix_share(Inference::kSwitchToRe), 0.02);
+    EXPECT_LT(table.prefix_share(Inference::kSwitchToRe), 0.20);
+    EXPECT_LT(table.prefix_share(Inference::kMixed), 0.08);
+    EXPECT_LT(table.prefix_share(Inference::kOscillating), 0.02);
+    EXPECT_LT(table.prefix_share(Inference::kSwitchToCommodity), 0.02);
+  }
+
+  // Cross-experiment stability stays high in every world.
+  const Table2 table2 = compare_experiments(world.surf, world.internet2);
+  ASSERT_GT(table2.comparable(), 200u);
+  EXPECT_GT(static_cast<double>(table2.same) / table2.comparable(), 0.90);
+
+  // Ground truth: the method stays accurate in every world.
+  ASSERT_GT(world.truth.ases_checked, 50u);
+  EXPECT_GT(world.truth.accuracy(), 0.93);
+}
+
+TEST_P(PipelineSweep, SwitchRoundsAreValidIndices) {
+  const SweepWorld world = run_world(GetParam());
+  for (const PrefixInference& p : world.internet2) {
+    if (p.inference != Inference::kSwitchToRe) continue;
+    ASSERT_TRUE(p.first_re_round.has_value());
+    EXPECT_GT(*p.first_re_round, 0);  // round 0 R&E would be Always R&E
+    EXPECT_LT(*p.first_re_round, 9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, PipelineSweep,
+                         ::testing::Values(20250529u, 1u, 777u, 424242u));
+
+}  // namespace
+}  // namespace re::core

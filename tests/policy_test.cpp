@@ -1,0 +1,182 @@
+// Unit tests for import/export policy: localpref assignment, stances,
+// per-neighbor overrides, prepending, and Gao-Rexford export rules.
+#include <gtest/gtest.h>
+
+#include "bgp/policy.h"
+
+namespace re::bgp {
+namespace {
+
+using net::Asn;
+
+Session make_session(Asn neighbor, Relationship rel, bool re_edge) {
+  Session s;
+  s.neighbor = neighbor;
+  s.relationship = rel;
+  s.re_edge = re_edge;
+  return s;
+}
+
+// ------------------------------------------------------------ ImportPolicy
+
+TEST(ImportPolicy, GaoRexfordBaseOrder) {
+  ImportPolicy policy;
+  policy.re_stance = ReStance::kEqualPref;
+  const auto customer = make_session(Asn{1}, Relationship::kCustomer, false);
+  const auto peer = make_session(Asn{2}, Relationship::kPeer, false);
+  const auto provider = make_session(Asn{3}, Relationship::kProvider, false);
+  EXPECT_GT(policy.local_pref_for(customer), policy.local_pref_for(peer));
+  EXPECT_GT(policy.local_pref_for(peer), policy.local_pref_for(provider));
+}
+
+TEST(ImportPolicy, PreferReBoostsReProviders) {
+  ImportPolicy policy;
+  policy.re_stance = ReStance::kPreferRe;
+  const auto re = make_session(Asn{1}, Relationship::kProvider, true);
+  const auto commodity = make_session(Asn{2}, Relationship::kProvider, false);
+  EXPECT_GT(policy.local_pref_for(re), policy.local_pref_for(commodity));
+}
+
+TEST(ImportPolicy, EqualStanceAssignsSamePref) {
+  ImportPolicy policy;
+  policy.re_stance = ReStance::kEqualPref;
+  const auto re = make_session(Asn{1}, Relationship::kProvider, true);
+  const auto commodity = make_session(Asn{2}, Relationship::kProvider, false);
+  EXPECT_EQ(policy.local_pref_for(re), policy.local_pref_for(commodity));
+}
+
+TEST(ImportPolicy, PreferCommodityBoostsCommodity) {
+  ImportPolicy policy;
+  policy.re_stance = ReStance::kPreferCommodity;
+  const auto re = make_session(Asn{1}, Relationship::kProvider, true);
+  const auto commodity = make_session(Asn{2}, Relationship::kProvider, false);
+  EXPECT_LT(policy.local_pref_for(re), policy.local_pref_for(commodity));
+}
+
+TEST(ImportPolicy, CustomerRoutesStayOnTopRegardlessOfStance) {
+  // Gao-Rexford: the stance bonus never lifts a provider above a customer.
+  for (const ReStance stance :
+       {ReStance::kPreferRe, ReStance::kEqualPref, ReStance::kPreferCommodity}) {
+    ImportPolicy policy;
+    policy.re_stance = stance;
+    const auto customer = make_session(Asn{1}, Relationship::kCustomer, false);
+    const auto re_provider = make_session(Asn{2}, Relationship::kProvider, true);
+    EXPECT_GT(policy.local_pref_for(customer), policy.local_pref_for(re_provider));
+  }
+}
+
+TEST(ImportPolicy, NeighborOverrideWinsOverEverything) {
+  // The NIKS configuration (Figure 4): GEANT 102, NORDUnet 50, Arelion 50.
+  ImportPolicy policy;
+  policy.re_stance = ReStance::kPreferRe;
+  policy.neighbor_pref[Asn{20965}] = 102;
+  policy.neighbor_pref[Asn{2603}] = 50;
+  policy.neighbor_pref[Asn{1299}] = 50;
+  const auto geant = make_session(Asn{20965}, Relationship::kProvider, true);
+  const auto nordunet = make_session(Asn{2603}, Relationship::kProvider, true);
+  const auto arelion = make_session(Asn{1299}, Relationship::kProvider, false);
+  EXPECT_EQ(policy.local_pref_for(geant), 102u);
+  EXPECT_EQ(policy.local_pref_for(nordunet), 50u);
+  EXPECT_EQ(policy.local_pref_for(arelion), 50u);
+}
+
+TEST(ImportPolicy, RejectReRoutesFiltersReSessions) {
+  ImportPolicy policy;
+  policy.reject_re_routes = true;
+  EXPECT_FALSE(policy.accepts(make_session(Asn{1}, Relationship::kProvider, true)));
+  EXPECT_TRUE(policy.accepts(make_session(Asn{2}, Relationship::kProvider, false)));
+}
+
+// ------------------------------------------------------------ ExportPolicy
+
+TEST(ExportPolicy, CommodityPrependAppliesToNonReSessions) {
+  ExportPolicy policy;
+  policy.commodity_prepend = 2;
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{1}, Relationship::kProvider, false)), 2u);
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{2}, Relationship::kProvider, true)), 0u);
+}
+
+TEST(ExportPolicy, RePrependAppliesToReSessions) {
+  ExportPolicy policy;
+  policy.re_prepend = 1;
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{1}, Relationship::kProvider, true)), 1u);
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{2}, Relationship::kProvider, false)), 0u);
+}
+
+TEST(ExportPolicy, PrependsCompose) {
+  ExportPolicy policy;
+  policy.default_prepend = 1;
+  policy.commodity_prepend = 2;
+  policy.neighbor_prepend[Asn{5}] = 3;
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{5}, Relationship::kProvider, false)), 6u);
+  EXPECT_EQ(policy.prepends_for(make_session(Asn{6}, Relationship::kProvider, false)), 3u);
+}
+
+TEST(ExportPolicy, PathBlockFiltersMatchingPaths) {
+  // GEANT's filter: do not carry Internet2 routes to NIKS.
+  ExportPolicy policy;
+  policy.neighbor_path_block[Asn{3267}] = {Asn{11537}};
+  const AsPath via_i2{Asn{20965}, Asn{11537}};
+  const AsPath via_surf{Asn{20965}, Asn{1103}, Asn{1125}};
+  EXPECT_FALSE(policy.path_allowed(Asn{3267}, via_i2));
+  EXPECT_TRUE(policy.path_allowed(Asn{3267}, via_surf));
+  // Other neighbors are unaffected.
+  EXPECT_TRUE(policy.path_allowed(Asn{1103}, via_i2));
+}
+
+// ----------------------------------------------------------- export rules
+
+TEST(ExportRules, LocalRoutesGoEverywhere) {
+  const auto to_peer = make_session(Asn{1}, Relationship::kPeer, false);
+  const auto to_provider = make_session(Asn{2}, Relationship::kProvider, false);
+  const auto to_customer = make_session(Asn{3}, Relationship::kCustomer, false);
+  EXPECT_TRUE(export_allowed(nullptr, to_peer, false));
+  EXPECT_TRUE(export_allowed(nullptr, to_provider, false));
+  EXPECT_TRUE(export_allowed(nullptr, to_customer, false));
+}
+
+TEST(ExportRules, CustomerRoutesGoEverywhere) {
+  const auto from = make_session(Asn{1}, Relationship::kCustomer, false);
+  EXPECT_TRUE(export_allowed(&from, make_session(Asn{2}, Relationship::kPeer, false), false));
+  EXPECT_TRUE(export_allowed(&from, make_session(Asn{3}, Relationship::kProvider, false), false));
+  EXPECT_TRUE(export_allowed(&from, make_session(Asn{4}, Relationship::kCustomer, false), false));
+}
+
+TEST(ExportRules, PeerAndProviderRoutesOnlyToCustomers) {
+  const auto from_peer = make_session(Asn{1}, Relationship::kPeer, false);
+  const auto from_provider = make_session(Asn{2}, Relationship::kProvider, false);
+  const auto to_peer = make_session(Asn{3}, Relationship::kPeer, false);
+  const auto to_provider = make_session(Asn{4}, Relationship::kProvider, false);
+  const auto to_customer = make_session(Asn{5}, Relationship::kCustomer, false);
+  EXPECT_FALSE(export_allowed(&from_peer, to_peer, false));
+  EXPECT_FALSE(export_allowed(&from_peer, to_provider, false));
+  EXPECT_TRUE(export_allowed(&from_peer, to_customer, false));
+  EXPECT_FALSE(export_allowed(&from_provider, to_peer, false));
+  EXPECT_FALSE(export_allowed(&from_provider, to_provider, false));
+  EXPECT_TRUE(export_allowed(&from_provider, to_customer, false));
+}
+
+TEST(ExportRules, ReBackbonesStitchPeerNrens) {
+  // §2.1: Internet2 exports routes between peer NRENs. The extension only
+  // applies when both sessions are on the R&E fabric.
+  const auto from_re_peer = make_session(Asn{1}, Relationship::kPeer, true);
+  const auto to_re_peer = make_session(Asn{2}, Relationship::kPeer, true);
+  const auto to_comm_peer = make_session(Asn{3}, Relationship::kPeer, false);
+  EXPECT_TRUE(export_allowed(&from_re_peer, to_re_peer, true));
+  EXPECT_FALSE(export_allowed(&from_re_peer, to_re_peer, false));
+  EXPECT_FALSE(export_allowed(&from_re_peer, to_comm_peer, true));
+  const auto from_comm_peer = make_session(Asn{4}, Relationship::kPeer, false);
+  EXPECT_FALSE(export_allowed(&from_comm_peer, to_re_peer, true));
+}
+
+TEST(PolicyStrings, HumanReadable) {
+  EXPECT_EQ(to_string(Relationship::kCustomer), "customer");
+  EXPECT_EQ(to_string(Relationship::kPeer), "peer");
+  EXPECT_EQ(to_string(Relationship::kProvider), "provider");
+  EXPECT_EQ(to_string(ReStance::kPreferRe), "prefer-r&e");
+  EXPECT_EQ(to_string(ReStance::kEqualPref), "equal-localpref");
+  EXPECT_EQ(to_string(ReStance::kPreferCommodity), "prefer-commodity");
+}
+
+}  // namespace
+}  // namespace re::bgp

@@ -1,0 +1,247 @@
+// Tests for the probing substrate: seed generation, the §3.2 selection
+// pipeline, the prober, and the measurement host.
+#include <gtest/gtest.h>
+
+#include "probing/host.h"
+#include "probing/prober.h"
+#include "probing/seeds.h"
+
+namespace re::probing {
+namespace {
+
+topo::Ecosystem make_ecosystem() {
+  topo::EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = 20250529;
+  return topo::Ecosystem::generate(params);
+}
+
+class SeedsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new topo::Ecosystem(make_ecosystem());
+    db_ = new SeedDatabase(SeedDatabase::generate(*ecosystem_, SeedGenParams{}));
+    selection_ = new SelectionResult(select_probe_seeds(*ecosystem_, *db_, 11));
+  }
+  static void TearDownTestSuite() {
+    delete selection_;
+    delete db_;
+    delete ecosystem_;
+  }
+  static const topo::Ecosystem& eco() { return *ecosystem_; }
+  static const SeedDatabase& db() { return *db_; }
+  static const SelectionResult& sel() { return *selection_; }
+
+ private:
+  static const topo::Ecosystem* ecosystem_;
+  static const SeedDatabase* db_;
+  static const SelectionResult* selection_;
+};
+const topo::Ecosystem* SeedsFixture::ecosystem_ = nullptr;
+const SeedDatabase* SeedsFixture::db_ = nullptr;
+const SelectionResult* SeedsFixture::selection_ = nullptr;
+
+TEST_F(SeedsFixture, CoverageRatesNearPaper) {
+  // §3.2: 65.2% of prefixes had ISI seeds; 73.3% had any seed; 68.0% were
+  // responsive; 82.7% of responsive prefixes had three destinations.
+  const SelectionStats& stats = sel().stats;
+  ASSERT_GT(stats.total_prefixes, 0u);
+  const double isi = static_cast<double>(stats.isi_seeded) / stats.total_prefixes;
+  const double any = static_cast<double>(stats.any_seeded) / stats.total_prefixes;
+  const double responsive =
+      static_cast<double>(stats.responsive) / stats.total_prefixes;
+  const double three =
+      static_cast<double>(stats.with_three_targets) / stats.responsive;
+  EXPECT_NEAR(isi, 0.652, 0.05);
+  EXPECT_NEAR(any, 0.733, 0.05);
+  EXPECT_NEAR(responsive, 0.68, 0.07);
+  EXPECT_NEAR(three, 0.827, 0.22);
+}
+
+TEST_F(SeedsFixture, CoveredPrefixesAreExcluded) {
+  EXPECT_EQ(static_cast<int>(sel().stats.covered_excluded),
+            eco().params().covered_prefixes);
+  for (const PrefixSeeds& s : sel().seeds) {
+    for (const topo::PrefixRecord& p : eco().prefixes()) {
+      if (p.prefix == s.prefix) {
+        EXPECT_FALSE(p.covered);
+      }
+    }
+  }
+}
+
+TEST_F(SeedsFixture, TargetsAreResponsiveAndInPrefix) {
+  for (const PrefixSeeds& s : sel().seeds) {
+    ASSERT_FALSE(s.targets.empty());
+    ASSERT_LE(s.targets.size(), 3u);
+    for (const ProbeTarget& t : s.targets) {
+      EXPECT_TRUE(db().currently_responsive(t.address));
+      EXPECT_TRUE(s.prefix.contains(t.address)) << s.prefix.to_string();
+    }
+  }
+}
+
+TEST_F(SeedsFixture, NoDuplicateTargetsWithinPrefix) {
+  for (const PrefixSeeds& s : sel().seeds) {
+    for (std::size_t i = 0; i < s.targets.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.targets.size(); ++j) {
+        EXPECT_NE(s.targets[i].address, s.targets[j].address);
+      }
+    }
+  }
+}
+
+TEST_F(SeedsFixture, SeedOriginKindsAccounted) {
+  const SelectionStats& stats = sel().stats;
+  EXPECT_EQ(stats.isi_only + stats.censys_only + stats.mixed, stats.responsive);
+  EXPECT_GT(stats.isi_only, stats.censys_only);  // ISI is ranked first
+}
+
+TEST_F(SeedsFixture, InterconnectMarkedOnlyWithTwoPlusTargets) {
+  std::size_t interconnects = 0;
+  for (const PrefixSeeds& s : sel().seeds) {
+    for (std::size_t i = 0; i < s.targets.size(); ++i) {
+      if (s.targets[i].routes_via.has_value()) {
+        ++interconnects;
+        EXPECT_GE(s.targets.size(), 2u);
+        EXPECT_EQ(i, s.targets.size() - 1);  // convention: last target
+      }
+    }
+  }
+  EXPECT_GT(interconnects, 0u);
+}
+
+TEST_F(SeedsFixture, IcmpSeedsComeFromIsi) {
+  for (const PrefixSeeds& s : sel().seeds) {
+    if (s.seed_origin == SeedOrigin::kIsi) {
+      for (const ProbeTarget& t : s.targets) {
+        EXPECT_EQ(t.method, ProbeMethod::kIcmpEcho);
+      }
+    }
+    if (s.seed_origin == SeedOrigin::kCensys) {
+      for (const ProbeTarget& t : s.targets) {
+        EXPECT_NE(t.method, ProbeMethod::kIcmpEcho);
+        EXPECT_NE(t.port, 0);
+      }
+    }
+  }
+}
+
+TEST_F(SeedsFixture, SelectionDeterministicForSeed) {
+  const SelectionResult again = select_probe_seeds(eco(), db(), 11);
+  ASSERT_EQ(again.seeds.size(), sel().seeds.size());
+  for (std::size_t i = 0; i < again.seeds.size(); ++i) {
+    EXPECT_EQ(again.seeds[i].prefix, sel().seeds[i].prefix);
+    ASSERT_EQ(again.seeds[i].targets.size(), sel().seeds[i].targets.size());
+    for (std::size_t j = 0; j < again.seeds[i].targets.size(); ++j) {
+      EXPECT_EQ(again.seeds[i].targets[j].address,
+                sel().seeds[i].targets[j].address);
+    }
+  }
+}
+
+TEST_F(SeedsFixture, IsiRecordsRankedByScore) {
+  std::size_t checked = 0;
+  for (const PrefixSeeds& s : sel().seeds) {
+    const auto* isi = db().isi_for(s.prefix);
+    if (isi == nullptr) continue;
+    for (std::size_t i = 1; i < isi->size(); ++i) {
+      ASSERT_GE((*isi)[i - 1].score, (*isi)[i].score);
+    }
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ------------------------------------------------------------------ prober
+
+TEST(Prober, AdvancesClockAtConfiguredRate) {
+  // 3 targets at 1 pps should take ~3 seconds.
+  std::vector<PrefixSeeds> seeds(1);
+  seeds[0].prefix = *net::Prefix::parse("10.0.0.0/24");
+  for (int i = 0; i < 3; ++i) {
+    seeds[0].targets.push_back(
+        ProbeTarget{seeds[0].prefix.address_at(1 + i), ProbeMethod::kIcmpEcho, 0, {}});
+  }
+  ProberConfig config;
+  config.pps = 1.0;
+  config.transient_loss = 0.0;
+  Prober prober(config, 1);
+  net::SimClock clock;
+  const RoundResult result = prober.run_round(
+      seeds, [](const PrefixSeeds&, const ProbeTarget&) { return 5; }, clock);
+  EXPECT_EQ(result.probes_sent, 3u);
+  EXPECT_EQ(result.responses, 3u);
+  EXPECT_EQ(clock.now(), 3);
+  EXPECT_EQ(result.prefixes[0].response_count(), 3u);
+  EXPECT_EQ(result.prefixes[0].outcomes[0].vlan_id, 5);
+}
+
+TEST(Prober, ResolverNulloptMeansNoResponse) {
+  std::vector<PrefixSeeds> seeds(1);
+  seeds[0].prefix = *net::Prefix::parse("10.0.0.0/24");
+  seeds[0].targets.push_back(
+      ProbeTarget{seeds[0].prefix.address_at(1), ProbeMethod::kIcmpEcho, 0, {}});
+  ProberConfig config;
+  config.transient_loss = 0.0;
+  Prober prober(config, 1);
+  net::SimClock clock;
+  const RoundResult result = prober.run_round(
+      seeds,
+      [](const PrefixSeeds&, const ProbeTarget&) -> std::optional<int> {
+        return std::nullopt;
+      },
+      clock);
+  EXPECT_EQ(result.responses, 0u);
+  EXPECT_FALSE(result.prefixes[0].outcomes[0].responded);
+}
+
+TEST(Prober, TransientLossDropsSomeProbes) {
+  std::vector<PrefixSeeds> seeds(1);
+  seeds[0].prefix = *net::Prefix::parse("10.0.0.0/16");
+  for (int i = 0; i < 2000; ++i) {
+    seeds[0].targets.push_back(ProbeTarget{seeds[0].prefix.address_at(1 + i),
+                                           ProbeMethod::kIcmpEcho, 0, {}});
+  }
+  ProberConfig config;
+  config.transient_loss = 0.10;
+  Prober prober(config, 1);
+  net::SimClock clock;
+  const RoundResult result = prober.run_round(
+      seeds, [](const PrefixSeeds&, const ProbeTarget&) { return 1; }, clock);
+  const double loss_rate =
+      1.0 - static_cast<double>(result.responses) / result.probes_sent;
+  EXPECT_NEAR(loss_rate, 0.10, 0.03);
+}
+
+// -------------------------------------------------------------------- host
+
+TEST(MeasurementHost, MapsTerminalsToInterfaces) {
+  MeasurementHost host(*net::IPv4Address::parse("163.253.63.63"));
+  host.add_interface({18, "ens3f1np1.18", false, net::Asn{396955}});
+  host.add_interface({17, "ens3f1np1.17", true, net::Asn{11537}});
+
+  const VlanInterface* commodity = host.interface_for_terminal(net::Asn{396955});
+  ASSERT_NE(commodity, nullptr);
+  EXPECT_FALSE(commodity->re);
+  EXPECT_EQ(commodity->vlan_id, 18);
+
+  const VlanInterface* re = host.interface_for_terminal(net::Asn{11537});
+  ASSERT_NE(re, nullptr);
+  EXPECT_TRUE(re->re);
+
+  EXPECT_EQ(host.interface_for_terminal(net::Asn{1}), nullptr);
+  EXPECT_EQ(host.interface_by_vlan(17), re);
+  EXPECT_EQ(host.interface_by_vlan(99), nullptr);
+  EXPECT_EQ(host.terminals().size(), 2u);
+  EXPECT_EQ(host.source().to_string(), "163.253.63.63");
+}
+
+TEST(ProbeMethodStrings, HumanReadable) {
+  EXPECT_EQ(to_string(ProbeMethod::kIcmpEcho), "icmp-echo");
+  EXPECT_EQ(to_string(ProbeMethod::kTcpSyn), "tcp-syn");
+  EXPECT_EQ(to_string(ProbeMethod::kUdp), "udp");
+}
+
+}  // namespace
+}  // namespace re::probing

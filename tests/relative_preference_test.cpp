@@ -1,0 +1,176 @@
+// Tests for the §5 generalized relative-preference experiment and the
+// Figure 6 IXP scenario.
+#include <gtest/gtest.h>
+
+#include "core/relative_preference.h"
+#include "topology/ixp.h"
+
+namespace re::core {
+namespace {
+
+using net::Asn;
+
+// ------------------------------------------------------ classify_sequence
+
+TEST(ClassifySequence, AlwaysFirst) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({0, 0, 0, 0}, &sw),
+            RelativePreference::kAlwaysFirst);
+  EXPECT_EQ(sw, 0);
+}
+
+TEST(ClassifySequence, AlwaysSecond) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({1, 1, 1, 1}, &sw),
+            RelativePreference::kAlwaysSecond);
+  EXPECT_FALSE(sw.has_value());
+}
+
+TEST(ClassifySequence, SingleSwitchIsLengthSensitive) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({1, 1, 0, 0, 0}, &sw),
+            RelativePreference::kLengthSensitive);
+  EXPECT_EQ(sw, 2);
+}
+
+TEST(ClassifySequence, WrongDirectionSwitchIsInconsistent) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({0, 0, 1, 1}, &sw),
+            RelativePreference::kInconsistent);
+}
+
+TEST(ClassifySequence, OscillationIsInconsistent) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({1, 0, 1, 0}, &sw),
+            RelativePreference::kInconsistent);
+}
+
+TEST(ClassifySequence, UnreachableRoundIsInconsistent) {
+  std::optional<int> sw;
+  EXPECT_EQ(classify_sequence({1, -1, 0}, &sw),
+            RelativePreference::kInconsistent);
+  EXPECT_EQ(classify_sequence({}, &sw), RelativePreference::kInconsistent);
+}
+
+// ------------------------------------------------ experiment on a diamond
+
+TEST(RelativePreferenceExperiment, RecoversPlantedStances) {
+  // Three tested ASes under the same two endpoints: one prefers the first
+  // class, one the second, one ties on length.
+  bgp::BgpNetwork network(3);
+  const Asn first_origin{100}, second_origin{200};
+  for (const Asn tested : {Asn{41}, Asn{42}, Asn{43}}) {
+    network.connect_transit(first_origin, tested, /*re_edge=*/true);
+    network.connect_transit(second_origin, tested, /*re_edge=*/false);
+  }
+  // Hmm: endpoints as providers of the tested ASes keeps paths short and
+  // controlled (1 + prepends on each side).
+  network.speaker(Asn{41})->import_policy().re_stance = bgp::ReStance::kPreferRe;
+  network.speaker(Asn{42})->import_policy().re_stance =
+      bgp::ReStance::kPreferCommodity;
+  network.speaker(Asn{43})->import_policy().re_stance = bgp::ReStance::kEqualPref;
+
+  RouteClassEndpoint first{"first", first_origin, 17, false};
+  RouteClassEndpoint second{"second", second_origin, 18, false};
+  RelativePreferenceExperiment experiment(network, first, second);
+  const auto results = experiment.run({Asn{41}, Asn{42}, Asn{43}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].preference, RelativePreference::kAlwaysFirst);
+  EXPECT_EQ(results[1].preference, RelativePreference::kAlwaysSecond);
+  EXPECT_EQ(results[2].preference, RelativePreference::kLengthSensitive);
+  ASSERT_TRUE(results[2].switch_round.has_value());
+  // Equal paths at 0-0 (round 4): the switch lands within the schedule.
+  EXPECT_GE(*results[2].switch_round, 1);
+  EXPECT_LE(*results[2].switch_round, 6);
+}
+
+// --------------------------------------------------------- IXP scenario
+
+TEST(IxpScenario, GenerationIsDeterministicAndShaped) {
+  topo::IxpScenarioParams params;
+  params.member_count = 40;
+  const auto a = topo::IxpScenario::generate(params);
+  const auto b = topo::IxpScenario::generate(params);
+  ASSERT_EQ(a.members.size(), 40u);
+  int equal = 0, provider = 0, confound = 0;
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    EXPECT_EQ(a.members[i].asn, b.members[i].asn);
+    EXPECT_EQ(a.members[i].equal_localpref, b.members[i].equal_localpref);
+    equal += a.members[i].equal_localpref;
+    provider += a.members[i].prefers_provider;
+    confound += a.members[i].peers_with_host_transit;
+  }
+  EXPECT_GT(equal, 0);
+  EXPECT_GT(confound, 0);
+}
+
+TEST(IxpScenario, ExperimentRecoversMemberStances) {
+  topo::IxpScenarioParams params;
+  params.member_count = 30;
+  params.seed = 7;
+  const auto scenario = topo::IxpScenario::generate(params);
+  bgp::BgpNetwork network(11);
+  scenario.build_network(network);
+
+  RouteClassEndpoint peer_side{"ixp-peer", params.host, 17, false};
+  RouteClassEndpoint provider_side{"provider", Asn{65001}, 18, false};
+  RelativePreferenceExperiment experiment(network, peer_side, provider_side);
+  const auto results = experiment.run(scenario.member_asns());
+
+  std::size_t checked = 0, correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const topo::IxpMemberSpec& member = scenario.members[i];
+    if (member.peers_with_host_transit) continue;  // the known confound
+    ++checked;
+    const RelativePreference expected =
+        member.equal_localpref ? RelativePreference::kLengthSensitive
+        : member.prefers_provider ? RelativePreference::kAlwaysSecond
+                                  : RelativePreference::kAlwaysFirst;
+    correct += results[i].preference == expected ? 1 : 0;
+  }
+  ASSERT_GT(checked, 15u);
+  // Peer-preferring and provider-preferring members classify exactly;
+  // equal-localpref ones may sit outside the schedule's crossover window
+  // when their provider chain is short, so allow some slack.
+  EXPECT_GT(static_cast<double>(correct) / checked, 0.8);
+}
+
+TEST(IxpScenario, ConfoundedMembersMisclassify) {
+  // The §5 warning: a member that peers with the host's transit hears a
+  // short "provider-class" route over a peering session — the method
+  // cannot isolate its peer-vs-provider preference.
+  topo::IxpScenarioParams params;
+  params.member_count = 30;
+  params.seed = 7;
+  const auto scenario = topo::IxpScenario::generate(params);
+  bgp::BgpNetwork network(11);
+  scenario.build_network(network);
+
+  RouteClassEndpoint peer_side{"ixp-peer", params.host, 17, false};
+  RouteClassEndpoint provider_side{"provider", Asn{65001}, 18, false};
+  RelativePreferenceExperiment experiment(network, peer_side, provider_side);
+  const auto results = experiment.run(scenario.member_asns());
+
+  std::size_t confounded = 0, looks_wrong = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const topo::IxpMemberSpec& member = scenario.members[i];
+    if (!member.peers_with_host_transit || member.prefers_provider) continue;
+    ++confounded;
+    // A peer-preferring member with the confound still returns via its
+    // direct tier-1 peering at least sometimes, so it is NOT classified
+    // kAlwaysFirst the way a clean peer-preferring member is.
+    looks_wrong +=
+        results[i].preference != RelativePreference::kAlwaysFirst ? 1 : 0;
+  }
+  ASSERT_GT(confounded, 0u);
+  EXPECT_GT(looks_wrong, 0u);
+}
+
+TEST(RelativePreferenceStrings, HumanReadable) {
+  EXPECT_EQ(to_string(RelativePreference::kAlwaysFirst), "always-first");
+  EXPECT_EQ(to_string(RelativePreference::kLengthSensitive),
+            "length-sensitive");
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,290 @@
+// Unit tests for the per-AS BGP speaker: import processing, decision
+// integration, export construction, and the re_only scope.
+#include <gtest/gtest.h>
+
+#include "bgp/speaker.h"
+
+namespace re::bgp {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+const Prefix kPrefix = *Prefix::parse("163.253.63.0/24");
+
+Session make_session(Asn neighbor, Relationship rel, bool re_edge,
+                     std::uint32_t router_id = 0) {
+  Session s;
+  s.neighbor = neighbor;
+  s.relationship = rel;
+  s.re_edge = re_edge;
+  s.router_id = router_id ? router_id : neighbor.value();
+  return s;
+}
+
+UpdateMessage announce(const AsPath& path, bool re_only = false) {
+  UpdateMessage m;
+  m.prefix = kPrefix;
+  m.path = path;
+  m.re_only = re_only;
+  return m;
+}
+
+UpdateMessage withdraw() {
+  UpdateMessage m;
+  m.prefix = kPrefix;
+  m.withdraw = true;
+  return m;
+}
+
+TEST(Speaker, InstallsRouteFromNeighbor) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  EXPECT_TRUE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0));
+  const Route* best = s.best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->learned_from, Asn{1});
+  EXPECT_EQ(best->path.origin(), Asn{9});
+}
+
+TEST(Speaker, IgnoresUpdatesFromUnknownNeighbor) {
+  Speaker s(Asn{42});
+  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}}), 0));
+  EXPECT_EQ(s.best(kPrefix), nullptr);
+}
+
+TEST(Speaker, DropsLoopedPaths) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{42}, Asn{9}}), 0));
+  EXPECT_EQ(s.best(kPrefix), nullptr);
+}
+
+TEST(Speaker, WithdrawRemovesRoute) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}}), 0);
+  EXPECT_TRUE(s.receive(Asn{1}, withdraw(), 1));
+  EXPECT_EQ(s.best(kPrefix), nullptr);
+  // Withdrawing again is a no-op.
+  EXPECT_FALSE(s.receive(Asn{1}, withdraw(), 2));
+}
+
+TEST(Speaker, DuplicateAnnouncementPreservesRouteAge) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 100);
+  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 900));
+  EXPECT_EQ(s.best(kPrefix)->established_at, 100);
+}
+
+TEST(Speaker, AttributeChangeResetsRouteAge) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 100);
+  // A prepend change is an attribute change.
+  EXPECT_TRUE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}, Asn{9}}), 900));
+  EXPECT_EQ(s.best(kPrefix)->established_at, 900);
+}
+
+TEST(Speaker, PicksHigherLocalPrefNeighbor) {
+  Speaker s(Asn{42});
+  s.import_policy().re_stance = ReStance::kPreferRe;
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));   // R&E
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));  // comm.
+  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{7}, Asn{8}, Asn{9}}), 0);
+  // R&E wins despite the longer path.
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
+  EXPECT_EQ(s.best_decided_by(kPrefix), DecisionStep::kLocalPref);
+}
+
+TEST(Speaker, EqualPrefFallsToPathLength) {
+  Speaker s(Asn{42});
+  s.import_policy().re_stance = ReStance::kEqualPref;
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{7}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{9}}), 0);
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
+  EXPECT_EQ(s.best_decided_by(kPrefix), DecisionStep::kAsPathLength);
+}
+
+TEST(Speaker, RejectReRoutesLeavesOnlyCommodity) {
+  Speaker s(Asn{42});
+  s.import_policy().reject_re_routes = true;
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
+  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0));
+  EXPECT_TRUE(s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0));
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
+}
+
+TEST(Speaker, LocalOriginationBeatsLearnedRoutes) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  EXPECT_TRUE(s.originate(kPrefix, 1));
+  const Route* best = s.best(kPrefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_FALSE(best->learned_from.valid());
+  EXPECT_TRUE(s.originates(kPrefix));
+  EXPECT_TRUE(s.withdraw_origination(kPrefix, 2));
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
+}
+
+TEST(Speaker, ExportPrependsOwnAsn) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  const Session* to = s.session_to(Asn{2});
+  const auto msg = s.eligible_announcement(*to, kPrefix);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->path.to_string(), "42 1 9");
+}
+
+TEST(Speaker, ExportAppliesConfiguredPrepends) {
+  Speaker s(Asn{42});
+  s.export_policy().default_prepend = 2;
+  s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
+  s.originate(kPrefix, 0);
+  const auto msg = s.eligible_announcement(*s.session_to(Asn{2}), kPrefix);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->path.to_string(), "42 42 42");
+}
+
+TEST(Speaker, SplitHorizonNeverEchoesBack) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kCustomer, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{1}), kPrefix));
+}
+
+TEST(Speaker, GaoRexfordExportThroughSpeaker) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.add_session(make_session(Asn{2}, Relationship::kPeer, false));
+  s.add_session(make_session(Asn{3}, Relationship::kCustomer, false));
+  // Provider-learned route: only the customer may hear it.
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{2}), kPrefix));
+  EXPECT_TRUE(s.eligible_announcement(*s.session_to(Asn{3}), kPrefix));
+}
+
+TEST(Speaker, ReOnlyRoutesStayOnReFabric) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kCustomer, true));
+  s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
+  s.add_session(make_session(Asn{3}, Relationship::kCustomer, true));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}, /*re_only=*/true), 0);
+  EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{2}), kPrefix));
+  const auto re_export = s.eligible_announcement(*s.session_to(Asn{3}), kPrefix);
+  ASSERT_TRUE(re_export.has_value());
+  EXPECT_TRUE(re_export->re_only);
+}
+
+TEST(Speaker, OriginationScopingToReOnlySessions) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
+  OriginationOptions options;
+  options.to_commodity_sessions = false;
+  s.originate(kPrefix, 0, options);
+  EXPECT_TRUE(s.eligible_announcement(*s.session_to(Asn{1}), kPrefix));
+  EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{2}), kPrefix));
+}
+
+TEST(Speaker, ExportPathBlockFilters) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kPeer, true));
+  s.add_session(make_session(Asn{3}, Relationship::kCustomer, true));
+  s.set_re_transit_between_peers(true);
+  s.export_policy().neighbor_path_block[Asn{3}] = {Asn{11537}};
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{11537}}), 0);
+  EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{3}), kPrefix));
+}
+
+TEST(Speaker, ExportToReturnsWithdrawWhenNotEligible) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
+  const auto msg = s.export_to(*s.session_to(Asn{2}), kPrefix);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->withdraw);
+}
+
+TEST(Speaker, BestCommodityIgnoresReRoutes) {
+  Speaker s(Asn{42});
+  s.import_policy().re_stance = ReStance::kPreferRe;
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
+  const Route* commodity = s.best_commodity(kPrefix);
+  ASSERT_NE(commodity, nullptr);
+  EXPECT_EQ(commodity->learned_from, Asn{2});
+}
+
+TEST(Speaker, BestCommodityNullWhenOnlyReRoutes) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  EXPECT_EQ(s.best_commodity(kPrefix), nullptr);
+}
+
+TEST(Speaker, CandidatesSortedAndComplete) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{5}, Relationship::kProvider, false));
+  s.add_session(make_session(Asn{3}, Relationship::kProvider, false));
+  s.receive(Asn{5}, announce(AsPath{Asn{5}, Asn{9}}), 0);
+  s.receive(Asn{3}, announce(AsPath{Asn{3}, Asn{9}}), 0);
+  const auto candidates = s.candidates(kPrefix);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].learned_from, Asn{3});
+  EXPECT_EQ(candidates[1].learned_from, Asn{5});
+}
+
+TEST(Speaker, DampingSuppressesFlappingNeighbor) {
+  Speaker s(Asn{42});
+  s.damping().enabled = true;
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
+  // Stable alternative with a longer path.
+  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
+  // Flap the short route repeatedly.
+  net::SimTime t = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), t);
+    t += 10;
+    s.receive(Asn{1}, withdraw(), t);
+    t += 10;
+  }
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), t);
+  // The flapping route is suppressed; the stable one wins.
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
+  // After the penalty decays, reevaluation restores the shorter route.
+  EXPECT_TRUE(s.reevaluate(kPrefix, t + 3 * net::kHour));
+  EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
+}
+
+TEST(Speaker, ClearPrefixForgetsEverything) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.clear_prefix(kPrefix);
+  EXPECT_EQ(s.best(kPrefix), nullptr);
+  EXPECT_TRUE(s.known_prefixes().empty());
+}
+
+TEST(Speaker, DefaultRouteSessionLookup) {
+  Speaker s(Asn{42});
+  s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
+  EXPECT_EQ(s.default_route_session(), nullptr);
+  s.set_session_default_route(Asn{1});
+  ASSERT_NE(s.default_route_session(), nullptr);
+  EXPECT_EQ(s.default_route_session()->neighbor, Asn{1});
+}
+
+}  // namespace
+}  // namespace re::bgp

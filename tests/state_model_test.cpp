@@ -1,0 +1,179 @@
+// Tests for the Figure 7 state model — including the cross-check between
+// the analytic prediction and the micro-simulation on a real BgpNetwork.
+#include <gtest/gtest.h>
+
+#include "core/state_model.h"
+
+namespace re::core {
+namespace {
+
+std::string render(const std::vector<SelectedRoute>& states) {
+  std::string out;
+  for (const SelectedRoute s : states) {
+    out += s == SelectedRoute::kRe ? 'R' : 'C';
+  }
+  return out;
+}
+
+// -------------------------------------------------------- analytic model
+
+TEST(StateModel, CaseA_ReShorterBy4) {
+  // R&E shorter by 4: prepends keep commodity ahead until the very start;
+  // the network switches as soon as the R&E path undercuts.
+  StateModelConfig config;
+  config.re_advantage = 4;
+  const auto states = predict_selection(config, paper_schedule());
+  // 4-0: equal lengths, commodity older -> C; from 3-0 on R&E shorter.
+  EXPECT_EQ(render(states), "CRRRRRRRR");
+}
+
+TEST(StateModel, CaseE_EqualLengths) {
+  StateModelConfig config;
+  config.re_advantage = 0;
+  const auto states = predict_selection(config, paper_schedule());
+  // R&E longer through the R&E-prepend phase; tie at 0-0 (commodity older
+  // because the R&E route was refreshed at every step) -> C; R&E wins once
+  // commodity prepends start.
+  EXPECT_EQ(render(states), "CCCCCRRRR");
+}
+
+TEST(StateModel, CaseI_ReLongerBy4) {
+  StateModelConfig config;
+  config.re_advantage = -4;
+  const auto states = predict_selection(config, paper_schedule());
+  // Commodity wins until its prepends exceed the R&E handicap; tie at 0-4
+  // resolves to R&E because by then the R&E route is older.
+  EXPECT_EQ(render(states), "CCCCCCCCR");
+}
+
+TEST(StateModel, AllLengthCasesSwitchAtMostOnce) {
+  // The prepend ordering guarantees the single-switch signature (§3.3) —
+  // the property that makes Switch-to-R&E identifiable as equal localpref.
+  for (int advantage = -4; advantage <= 4; ++advantage) {
+    StateModelConfig config;
+    config.re_advantage = advantage;
+    const auto states = predict_selection(config, paper_schedule());
+    int transitions = 0;
+    for (std::size_t i = 1; i < states.size(); ++i) {
+      transitions += states[i] != states[i - 1] ? 1 : 0;
+    }
+    EXPECT_LE(transitions, 1) << "advantage " << advantage;
+    if (transitions == 1) {
+      EXPECT_EQ(states.front(), SelectedRoute::kCommodity);
+      EXPECT_EQ(states.back(), SelectedRoute::kRe);
+    }
+  }
+}
+
+TEST(StateModel, LaterSwitchForLongerRePaths) {
+  // The switch round is monotone in the R&E handicap — the mechanism
+  // behind Figure 8's Participant/Peer-NREN offset.
+  int previous_switch = -1;
+  for (int advantage = 4; advantage >= -3; --advantage) {
+    StateModelConfig config;
+    config.re_advantage = advantage;
+    const auto states = predict_selection(config, paper_schedule());
+    int switch_round = -1;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == SelectedRoute::kRe) {
+        switch_round = static_cast<int>(i);
+        break;
+      }
+    }
+    ASSERT_NE(switch_round, -1) << "advantage " << advantage;
+    EXPECT_GE(switch_round, previous_switch) << "advantage " << advantage;
+    previous_switch = switch_round;
+  }
+}
+
+TEST(StateModel, CaseJ_RouteAgeCommodityOlder) {
+  // Appendix A case J row 1: path length ignored, commodity route older at
+  // the start -> the network switches exactly at 0-1, when the commodity
+  // route's age resets.
+  StateModelConfig config;
+  config.use_path_length = false;
+  const auto states = predict_selection(config, paper_schedule());
+  EXPECT_EQ(render(states), "CCCCCRRRR");
+}
+
+TEST(StateModel, CaseJ_RouteAgeReOlder) {
+  // Row 2: R&E older at the start; the first R&E prepend change resets its
+  // age, flipping to commodity, until the commodity route is refreshed.
+  StateModelConfig config;
+  config.use_path_length = false;
+  config.re_older_at_start = true;
+  const auto states = predict_selection(config, paper_schedule());
+  EXPECT_EQ(render(states), "RCCCCRRRR");
+}
+
+TEST(StateModel, ArbitraryTieBreakVariants) {
+  StateModelConfig config;
+  config.re_advantage = 0;
+  config.tie_break = TieBreak::kArbitraryRe;
+  auto states = predict_selection(config, paper_schedule());
+  EXPECT_EQ(render(states), "CCCCRRRRR");  // tie at 0-0 goes to R&E
+  config.tie_break = TieBreak::kArbitraryCommodity;
+  states = predict_selection(config, paper_schedule());
+  EXPECT_EQ(render(states), "CCCCCRRRR");
+}
+
+// ---------------------------------------- analytic vs micro-simulation
+
+struct CrossCheckCase {
+  int re_chain;    // intermediate ASes on the R&E side
+  int comm_chain;  // intermediate ASes on the commodity side
+};
+
+class StateModelCrossCheck : public ::testing::TestWithParam<CrossCheckCase> {};
+
+TEST_P(StateModelCrossCheck, SimulationMatchesAnalyticModel) {
+  const auto& param = GetParam();
+  // Path lengths at the edge: chain + 2 (origin + chain head's export);
+  // the advantage is the difference of the two chain lengths.
+  StateModelConfig config;
+  config.re_advantage = param.comm_chain - param.re_chain;
+  // The micro-sim edge uses the default deterministic router-id tie-break;
+  // align the analytic model to whichever side its router ids favour by
+  // checking both arbitrary variants.
+  const auto simulated =
+      simulate_selection(param.re_chain, param.comm_chain,
+                         /*use_path_length=*/true, /*use_route_age=*/false,
+                         paper_schedule());
+  config.tie_break = TieBreak::kArbitraryRe;
+  const auto predicted_re = predict_selection(config, paper_schedule());
+  config.tie_break = TieBreak::kArbitraryCommodity;
+  const auto predicted_comm = predict_selection(config, paper_schedule());
+  EXPECT_TRUE(render(simulated) == render(predicted_re) ||
+              render(simulated) == render(predicted_comm))
+      << "sim " << render(simulated) << " vs " << render(predicted_re)
+      << " / " << render(predicted_comm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChainSweep, StateModelCrossCheck,
+    ::testing::Values(CrossCheckCase{0, 4}, CrossCheckCase{0, 2},
+                      CrossCheckCase{1, 3}, CrossCheckCase{2, 2},
+                      CrossCheckCase{3, 1}, CrossCheckCase{4, 0},
+                      CrossCheckCase{2, 0}, CrossCheckCase{0, 0},
+                      CrossCheckCase{5, 0}));
+
+TEST(StateModelSim, RouteAgeNetworkSwitchesAtFirstCommodityStep) {
+  // A case-J network in the micro-sim: equal chains, path length off,
+  // route age on. Must switch exactly when commodity prepends begin.
+  const auto states =
+      simulate_selection(2, 2, /*use_path_length=*/false,
+                         /*use_route_age=*/true, paper_schedule());
+  EXPECT_EQ(render(states), "CCCCCRRRR");
+}
+
+TEST(Figure7Render, ContainsAllCases) {
+  const std::string fig = render_figure7(paper_schedule());
+  for (const char c : std::string("ABCDEFGHIJ")) {
+    EXPECT_NE(fig.find(std::string(1, c)), std::string::npos);
+  }
+  EXPECT_NE(fig.find("4-0"), std::string::npos);
+  EXPECT_NE(fig.find("0-4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::core

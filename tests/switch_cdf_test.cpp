@@ -1,0 +1,110 @@
+// Tests for the Figure 8 switch-configuration CDF.
+#include <gtest/gtest.h>
+
+#include "core/switch_cdf.h"
+
+namespace re::core {
+namespace {
+
+PrefixInference make(std::uint32_t id, std::uint32_t origin,
+                     Inference inference, std::optional<int> first_re,
+                     topo::ReSide side) {
+  PrefixInference p;
+  p.prefix = net::Prefix(net::IPv4Address(id << 10), 22);
+  p.origin = net::Asn{origin};
+  p.inference = inference;
+  p.first_re_round = first_re;
+  p.side = side;
+  return p;
+}
+
+TEST(SwitchCdf, CumulativeAndMonotone) {
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 2, topo::ReSide::kParticipant),
+      make(2, 20, Inference::kSwitchToRe, 4, topo::ReSide::kParticipant),
+      make(3, 30, Inference::kSwitchToRe, 1, topo::ReSide::kPeerNren),
+  };
+  const SwitchCdf cdf = build_switch_cdf(a, a, paper_schedule(), false);
+  EXPECT_EQ(cdf.participant_ases, 2u);
+  EXPECT_EQ(cdf.peer_nren_ases, 1u);
+  ASSERT_EQ(cdf.participant.size(), 9u);
+  for (std::size_t i = 1; i < cdf.participant.size(); ++i) {
+    EXPECT_GE(cdf.participant[i], cdf.participant[i - 1]);
+    EXPECT_GE(cdf.peer_nren[i], cdf.peer_nren[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(cdf.participant.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.peer_nren.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.participant[1], 0.0);
+  EXPECT_DOUBLE_EQ(cdf.participant[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf.peer_nren[1], 1.0);
+}
+
+TEST(SwitchCdf, RequiresSwitchInBothExperiments) {
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 2, topo::ReSide::kParticipant)};
+  std::vector<PrefixInference> b{
+      make(1, 10, Inference::kAlwaysRe, 0, topo::ReSide::kParticipant)};
+  const SwitchCdf cdf = build_switch_cdf(a, b, paper_schedule(), false);
+  EXPECT_EQ(cdf.participant_ases, 0u);
+}
+
+TEST(SwitchCdf, FirstSwitchPerAsAcrossPrefixes) {
+  // An AS originating many prefixes that switch at different rounds is
+  // counted once, at its earliest switch (Appendix B).
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 5, topo::ReSide::kParticipant),
+      make(2, 10, Inference::kSwitchToRe, 3, topo::ReSide::kParticipant),
+      make(3, 10, Inference::kSwitchToRe, 7, topo::ReSide::kParticipant),
+  };
+  const SwitchCdf cdf = build_switch_cdf(a, a, paper_schedule(), false);
+  EXPECT_EQ(cdf.participant_ases, 1u);
+  EXPECT_DOUBLE_EQ(cdf.participant[2], 0.0);
+  EXPECT_DOUBLE_EQ(cdf.participant[3], 1.0);
+}
+
+TEST(SwitchCdf, UseSecondSelectsOtherExperimentRounds) {
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 1, topo::ReSide::kParticipant)};
+  std::vector<PrefixInference> b{
+      make(1, 10, Inference::kSwitchToRe, 6, topo::ReSide::kParticipant)};
+  const SwitchCdf first = build_switch_cdf(a, b, paper_schedule(), false);
+  const SwitchCdf second = build_switch_cdf(a, b, paper_schedule(), true);
+  EXPECT_DOUBLE_EQ(first.participant[1], 1.0);
+  EXPECT_DOUBLE_EQ(second.participant[1], 0.0);
+  EXPECT_DOUBLE_EQ(second.participant[6], 1.0);
+}
+
+TEST(SwitchCdf, AsInBothSidesCountedPerSide) {
+  // Three ASes originated prefixes in both classes in the paper; each
+  // class counts them separately.
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 2, topo::ReSide::kParticipant),
+      make(2, 10, Inference::kSwitchToRe, 3, topo::ReSide::kPeerNren),
+  };
+  const SwitchCdf cdf = build_switch_cdf(a, a, paper_schedule(), false);
+  EXPECT_EQ(cdf.participant_ases, 1u);
+  EXPECT_EQ(cdf.peer_nren_ases, 1u);
+}
+
+TEST(SwitchCdf, FirstCommodityStepDetection) {
+  // Case-J networks switch at "0-1" (index 5 of the paper schedule).
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 5, topo::ReSide::kPeerNren),
+      make(2, 20, Inference::kSwitchToRe, 4, topo::ReSide::kPeerNren),
+  };
+  const SwitchCdf cdf = build_switch_cdf(a, a, paper_schedule(), false);
+  EXPECT_EQ(cdf.switched_at_first_comm_step, 1u);
+}
+
+TEST(SwitchCdf, RenderContainsConfigLabels) {
+  std::vector<PrefixInference> a{
+      make(1, 10, Inference::kSwitchToRe, 2, topo::ReSide::kParticipant)};
+  const SwitchCdf cdf = build_switch_cdf(a, a, paper_schedule(), false);
+  const std::string text = render_switch_cdf(cdf);
+  EXPECT_NE(text.find("4-0"), std::string::npos);
+  EXPECT_NE(text.find("0-4"), std::string::npos);
+  EXPECT_NE(text.find("participant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::core

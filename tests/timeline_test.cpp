@@ -1,0 +1,102 @@
+// Tests for the Figure 3 timeline builder.
+#include <gtest/gtest.h>
+
+#include "core/timeline.h"
+
+namespace re::core {
+namespace {
+
+ExperimentResult make_result() {
+  ExperimentResult result;
+  result.measurement_prefix = *net::Prefix::parse("163.253.63.0/24");
+  result.experiment_start = 0;
+  result.re_phase_end = 5 * net::kHour;
+  result.experiment_end = 9 * net::kHour;
+  for (int round = 0; round < 9; ++round) {
+    RoundWindow w;
+    w.round = round;
+    w.config = paper_schedule()[static_cast<std::size_t>(round)];
+    w.config_applied = round * net::kHour;
+    w.probe_start = w.config_applied + net::kHour - 10 * net::kMinute;
+    w.probe_end = w.probe_start + 7 * net::kMinute;
+    result.windows.push_back(w);
+  }
+  return result;
+}
+
+void add_update(ExperimentResult& result, net::SimTime t) {
+  result.update_log.record(bgp::CollectorUpdate{
+      t, net::Asn{3356}, result.measurement_prefix, false,
+      bgp::AsPath{net::Asn{3356}, net::Asn{396955}}});
+}
+
+TEST(Timeline, PhaseCountsSplitAtRePhaseEnd) {
+  ExperimentResult result = make_result();
+  add_update(result, 10);                     // R&E phase
+  add_update(result, 2 * net::kHour);         // R&E phase
+  add_update(result, 6 * net::kHour);         // commodity phase
+  add_update(result, 8 * net::kHour);         // commodity phase
+  add_update(result, 8 * net::kHour + 1);     // commodity phase
+  const Figure3 fig = build_figure3(result);
+  EXPECT_EQ(fig.re_phase_updates, 2u);
+  EXPECT_EQ(fig.comm_phase_updates, 3u);
+}
+
+TEST(Timeline, QuietPeriodMeasuredFromLastUpdate) {
+  ExperimentResult result = make_result();
+  // Update 5 minutes after the round-1 config change.
+  add_update(result, net::kHour + 5 * net::kMinute);
+  const Figure3 fig = build_figure3(result);
+  const TimelineWindow& w1 = fig.windows[1];
+  EXPECT_EQ(w1.updates_after_change, 1u);
+  EXPECT_EQ(w1.quiet_before_probe,
+            w1.probe_start - (net::kHour + 5 * net::kMinute));
+  // Rounds with no updates count quiet from the config change.
+  const TimelineWindow& w2 = fig.windows[2];
+  EXPECT_EQ(w2.updates_after_change, 0u);
+  EXPECT_EQ(w2.quiet_before_probe, w2.probe_start - w2.config_applied);
+}
+
+TEST(Timeline, UpdatesDuringProbeWindowCountedSeparately) {
+  ExperimentResult result = make_result();
+  const RoundWindow& w = result.windows[3];
+  add_update(result, w.probe_start + 30);
+  const Figure3 fig = build_figure3(result);
+  EXPECT_EQ(fig.windows[3].updates_during_probe, 1u);
+  EXPECT_EQ(fig.windows[3].updates_after_change, 0u);
+}
+
+TEST(Timeline, OtherPrefixesIgnored) {
+  ExperimentResult result = make_result();
+  result.update_log.record(bgp::CollectorUpdate{
+      10, net::Asn{3356}, *net::Prefix::parse("10.0.0.0/8"), false,
+      bgp::AsPath{net::Asn{1}}});
+  const Figure3 fig = build_figure3(result);
+  EXPECT_EQ(fig.re_phase_updates, 0u);
+  EXPECT_EQ(fig.comm_phase_updates, 0u);
+}
+
+TEST(Timeline, CumulativeSeriesIsMonotone) {
+  ExperimentResult result = make_result();
+  for (int i = 0; i < 50; ++i) {
+    add_update(result, (i * 9 * net::kHour) / 50);
+  }
+  const Figure3 fig = build_figure3(result);
+  ASSERT_FALSE(fig.cumulative.empty());
+  for (std::size_t i = 1; i < fig.cumulative.size(); ++i) {
+    EXPECT_GE(fig.cumulative[i], fig.cumulative[i - 1]);
+  }
+  EXPECT_EQ(fig.cumulative.back(), 50u);
+}
+
+TEST(Timeline, RenderContainsConfigsAndCounts) {
+  ExperimentResult result = make_result();
+  add_update(result, 10);
+  const std::string out = render_figure3(build_figure3(result));
+  EXPECT_NE(out.find("4-0"), std::string::npos);
+  EXPECT_NE(out.find("0-4"), std::string::npos);
+  EXPECT_NE(out.find("cumulative churn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::core

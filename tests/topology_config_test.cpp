@@ -1,0 +1,148 @@
+// Tests for the text topology configuration loader.
+#include <gtest/gtest.h>
+
+#include "io/topology_config.h"
+
+namespace re::io {
+namespace {
+
+using net::Asn;
+
+TEST(TopologyConfig, BuildsFigure1Topology) {
+  // Figure 1 of the paper: Columbia (14) hears UCSD (7377) routes via
+  // NYSERNet (3754, R&E) and Cogent (174, commodity).
+  const char* config = R"(
+# Figure 1
+peering 3754 11537 re        # NYSERNet on the R&E fabric
+transit 3754 14 re           # Columbia under NYSERNet
+transit 174 14               # Columbia under Cogent
+transit 11537 2152 re
+transit 2152 7377 re
+transit 3356 2152          # CENIC's commodity provider
+peering 174 3356
+stance 14 prefer-re
+announce 7377 192.0.2.0/24
+)";
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(config, network);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  ASSERT_EQ(result.announcements.size(), 1u);
+  apply_announcements(result.announcements, network);
+
+  const bgp::Route* best =
+      network.speaker(Asn{14})->best(*net::Prefix::parse("192.0.2.0/24"));
+  ASSERT_NE(best, nullptr);
+  // Columbia deterministically selects the R&E route despite equal AS
+  // path lengths (the figure's point).
+  EXPECT_TRUE(best->re_edge);
+  EXPECT_EQ(best->learned_from, Asn{3754});
+  EXPECT_EQ(best->path.length(),
+            network.speaker(Asn{14})
+                ->candidates(*net::Prefix::parse("192.0.2.0/24"))[0]
+                .path.length());
+}
+
+TEST(TopologyConfig, AcceptsAsnPrefixesAndComments) {
+  const char* config = R"(
+transit AS3356 AS396955   # Lumen provides the blend
+collector as3356
+)";
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(config, network);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(network.contains(Asn{3356}));
+  EXPECT_TRUE(network.contains(Asn{396955}));
+  EXPECT_TRUE(network.collector_peers().count(Asn{3356}));
+}
+
+TEST(TopologyConfig, AppliesPolicyDirectives) {
+  const char* config = R"(
+transit 10 42 re
+transit 20 42
+stance 42 equal
+prepend 42 commodity 2
+neighbor-pref 42 10 102
+path-block 10 42 11537
+route-age 42 on
+path-length 42 off
+re-transit 10
+vrf-split 42
+damping 42
+default-route 42 20
+)";
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(config, network);
+  ASSERT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+
+  const bgp::Speaker* s = network.speaker(Asn{42});
+  EXPECT_EQ(s->import_policy().re_stance, bgp::ReStance::kEqualPref);
+  EXPECT_EQ(s->export_policy().commodity_prepend, 2u);
+  EXPECT_EQ(s->import_policy().neighbor_pref.at(Asn{10}), 102u);
+  EXPECT_TRUE(s->decision().use_route_age);
+  EXPECT_FALSE(s->decision().use_as_path_length);
+  EXPECT_TRUE(s->vrf_split_export());
+  ASSERT_NE(s->default_route_session(), nullptr);
+  EXPECT_EQ(s->default_route_session()->neighbor, Asn{20});
+  EXPECT_TRUE(network.speaker(Asn{10})->re_transit_between_peers());
+  EXPECT_FALSE(
+      network.speaker(Asn{10})->export_policy().path_allowed(
+          Asn{42}, bgp::AsPath{Asn{11537}}));
+}
+
+TEST(TopologyConfig, AnnounceFlags) {
+  const char* config = R"(
+transit 10 1 re
+transit 20 1
+announce 1 10.0.0.0/24 re-only
+announce 1 10.1.0.0/24 no-commodity
+announce 1 10.2.0.0/24 no-re
+)";
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(config, network);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.announcements.size(), 3u);
+  EXPECT_TRUE(result.announcements[0].options.re_only);
+  EXPECT_FALSE(result.announcements[1].options.to_commodity_sessions);
+  EXPECT_FALSE(result.announcements[2].options.to_re_sessions);
+}
+
+TEST(TopologyConfig, ReportsErrorsWithLineNumbers) {
+  const char* config = R"(transit 10
+bogus-directive 1 2
+stance 42 sideways
+transit 10 42
+)";
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(config, network);
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.errors.size(), 3u);
+  EXPECT_NE(result.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(result.errors[1].find("line 2"), std::string::npos);
+  EXPECT_NE(result.errors[2].find("line 3"), std::string::npos);
+  // The valid directive on line 4 was still applied.
+  EXPECT_TRUE(network.contains(Asn{42}));
+}
+
+TEST(TopologyConfig, RejectsBadValues) {
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology(R"(
+transit 0 5
+transit 5 5
+prepend 5 commodity x
+announce 5 not-a-prefix
+collector nope
+)", network);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.errors.size(), 5u);
+}
+
+TEST(TopologyConfig, EmptyAndCommentOnlyInputIsOk) {
+  bgp::BgpNetwork network(1);
+  const TopologyLoadResult result = load_topology("\n# nothing here\n\n", network);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.directives, 0u);
+  EXPECT_TRUE(result.announcements.empty());
+}
+
+}  // namespace
+}  // namespace re::io

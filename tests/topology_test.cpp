@@ -1,0 +1,360 @@
+// Tests for the synthetic R&E ecosystem generator: structural invariants,
+// policy planting, prefix allocation, and network wiring.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bgp/network.h"
+#include "netbase/prefix_trie.h"
+#include "topology/ecosystem.h"
+#include "topology/geo.h"
+
+namespace re::topo {
+namespace {
+
+EcosystemParams small_params(std::uint64_t seed = 20250529) {
+  EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = seed;
+  return params;
+}
+
+class EcosystemFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new Ecosystem(Ecosystem::generate(small_params()));
+  }
+  static void TearDownTestSuite() {
+    delete ecosystem_;
+    ecosystem_ = nullptr;
+  }
+  static const Ecosystem& eco() { return *ecosystem_; }
+
+ private:
+  static const Ecosystem* ecosystem_;
+};
+const Ecosystem* EcosystemFixture::ecosystem_ = nullptr;
+
+TEST_F(EcosystemFixture, MemberAndPrefixCountsMatchParams) {
+  const auto& params = eco().params();
+  EXPECT_EQ(static_cast<int>(eco().members().size()), params.member_count);
+  EXPECT_EQ(static_cast<int>(eco().prefixes().size()), params.target_prefixes);
+}
+
+TEST_F(EcosystemFixture, CoveredPrefixCountMatches) {
+  int covered = 0;
+  for (const PrefixRecord& p : eco().prefixes()) covered += p.covered ? 1 : 0;
+  EXPECT_EQ(covered, eco().params().covered_prefixes);
+}
+
+TEST_F(EcosystemFixture, CoveredPrefixesAreActuallyCovered) {
+  net::PrefixTrie<net::Asn> trie;
+  for (const PrefixRecord& p : eco().prefixes()) {
+    if (!p.covered) trie.insert(p.prefix, p.origin);
+  }
+  for (const PrefixRecord& p : eco().prefixes()) {
+    if (p.covered) {
+      EXPECT_TRUE(trie.has_shorter_cover(p.prefix)) << p.prefix.to_string();
+    }
+  }
+}
+
+TEST_F(EcosystemFixture, NonCoveredPrefixesDoNotOverlap) {
+  net::PrefixTrie<net::Asn> trie;
+  for (const PrefixRecord& p : eco().prefixes()) {
+    if (p.covered) continue;
+    EXPECT_FALSE(trie.has_shorter_cover(p.prefix)) << p.prefix.to_string();
+    EXPECT_TRUE(trie.insert(p.prefix, p.origin)) << p.prefix.to_string();
+  }
+}
+
+TEST_F(EcosystemFixture, MeasurementPrefixDisjointFromMemberPrefixes) {
+  const net::Prefix meas = eco().measurement().prefix;
+  for (const PrefixRecord& p : eco().prefixes()) {
+    EXPECT_FALSE(meas.covers(p.prefix));
+    EXPECT_FALSE(p.prefix.covers(meas));
+  }
+}
+
+TEST_F(EcosystemFixture, EveryMemberHasAnReProvider) {
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    ASSERT_NE(r, nullptr);
+    EXPECT_FALSE(r->re_providers.empty()) << member.to_string();
+  }
+}
+
+TEST_F(EcosystemFixture, EveryPrefixOriginIsAMember) {
+  const std::unordered_set<net::Asn> members(eco().members().begin(),
+                                             eco().members().end());
+  for (const PrefixRecord& p : eco().prefixes()) {
+    EXPECT_TRUE(members.count(p.origin)) << p.origin.to_string();
+  }
+}
+
+TEST_F(EcosystemFixture, SidesArePlausiblySplit) {
+  int participants = 0, intl = 0;
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    (r->side == ReSide::kParticipant ? participants : intl) += 1;
+  }
+  EXPECT_GT(participants, 0);
+  EXPECT_GT(intl, 0);
+  const double share = static_cast<double>(participants) /
+                       static_cast<double>(participants + intl);
+  EXPECT_NEAR(share, eco().params().participant_fraction, 0.10);
+}
+
+TEST_F(EcosystemFixture, ParticipantsHaveStatesInternationalsHaveCountries) {
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    if (r->side == ReSide::kParticipant) {
+      EXPECT_EQ(r->country, "US") << member.to_string();
+      EXPECT_FALSE(r->us_state.empty()) << member.to_string();
+    } else {
+      EXPECT_NE(r->country, "US") << member.to_string();
+    }
+  }
+}
+
+TEST_F(EcosystemFixture, StanceMixRoughlyMatchesParams) {
+  int prefer_re = 0, equal = 0, other = 0;
+  int with_commodity = 0;
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    if (!r->traits.has_commodity) continue;
+    ++with_commodity;
+    if (r->traits.reject_re_routes) {
+      ++other;
+    } else if (r->traits.stance == bgp::ReStance::kPreferRe) {
+      ++prefer_re;
+    } else if (r->traits.stance == bgp::ReStance::kEqualPref) {
+      ++equal;
+    } else {
+      ++other;
+    }
+  }
+  ASSERT_GT(with_commodity, 50);
+  EXPECT_NEAR(static_cast<double>(prefer_re) / with_commodity,
+              eco().params().p_prefer_re, 0.08);
+  EXPECT_NEAR(static_cast<double>(equal) / with_commodity,
+              eco().params().p_equal_pref, 0.06);
+}
+
+TEST_F(EcosystemFixture, SpecialPlantsExist) {
+  int route_age = 0, vrf = 0, views = 0;
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    route_age += r->traits.uses_route_age ? 1 : 0;
+    vrf += r->traits.vrf_split_export ? 1 : 0;
+    views += r->traits.provides_public_view ? 1 : 0;
+  }
+  EXPECT_EQ(route_age, eco().params().route_age_ases);
+  EXPECT_EQ(vrf, eco().params().vrf_split_members);
+  EXPECT_EQ(views, eco().params().public_view_members);
+  EXPECT_EQ(eco().member_view_peers().size(),
+            static_cast<std::size_t>(eco().params().public_view_members));
+}
+
+TEST_F(EcosystemFixture, NiksWiringMatchesFigure4) {
+  const AsRecord* niks = eco().directory().find(eco().niks());
+  ASSERT_NE(niks, nullptr);
+  EXPECT_EQ(niks->country, "RU");
+  // Providers: GEANT, NORDUnet (R&E) and Arelion (commodity).
+  EXPECT_NE(std::find(niks->re_providers.begin(), niks->re_providers.end(),
+                      eco().geant()),
+            niks->re_providers.end());
+  EXPECT_NE(std::find(niks->re_providers.begin(), niks->re_providers.end(),
+                      eco().nordunet()),
+            niks->re_providers.end());
+  ASSERT_FALSE(niks->commodity_providers.empty());
+  EXPECT_EQ(niks->commodity_providers.front(), net::asn::kArelion);
+}
+
+TEST_F(EcosystemFixture, NiksMembersPlanted) {
+  int ru_members = 0;
+  for (const net::Asn member : eco().members()) {
+    const AsRecord* r = eco().directory().find(member);
+    if (r->country == "RU") {
+      ++ru_members;
+      ASSERT_FALSE(r->re_providers.empty());
+      EXPECT_EQ(r->re_providers.front(), eco().niks());
+    }
+  }
+  EXPECT_EQ(ru_members, eco().params().niks_members);
+}
+
+TEST_F(EcosystemFixture, IsReTransitClassification) {
+  EXPECT_TRUE(eco().is_re_transit(eco().internet2()));
+  EXPECT_TRUE(eco().is_re_transit(eco().geant()));
+  EXPECT_TRUE(eco().is_re_transit(eco().nordunet()));
+  EXPECT_TRUE(eco().is_re_transit(eco().niks()));
+  EXPECT_FALSE(eco().is_re_transit(eco().lumen()));
+  EXPECT_FALSE(eco().is_re_transit(eco().members().front()));
+  EXPECT_FALSE(eco().is_re_transit(net::Asn{999999}));
+}
+
+TEST_F(EcosystemFixture, PrefixesOfReturnsAllOriginations) {
+  std::size_t total = 0;
+  for (const net::Asn member : eco().members()) {
+    total += eco().prefixes_of(member).size();
+  }
+  EXPECT_EQ(total, eco().prefixes().size());
+}
+
+TEST_F(EcosystemFixture, GenerationIsDeterministic) {
+  const Ecosystem again = Ecosystem::generate(small_params());
+  ASSERT_EQ(again.prefixes().size(), eco().prefixes().size());
+  for (std::size_t i = 0; i < again.prefixes().size(); ++i) {
+    EXPECT_EQ(again.prefixes()[i].prefix, eco().prefixes()[i].prefix);
+    EXPECT_EQ(again.prefixes()[i].origin, eco().prefixes()[i].origin);
+  }
+}
+
+TEST_F(EcosystemFixture, DifferentSeedsDiffer) {
+  const Ecosystem other = Ecosystem::generate(small_params(999));
+  bool any_difference = other.prefixes().size() != eco().prefixes().size();
+  for (std::size_t i = 0;
+       !any_difference && i < other.prefixes().size(); ++i) {
+    any_difference = other.prefixes()[i].prefix != eco().prefixes()[i].prefix;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ----------------------------------------------------- network wiring
+
+TEST_F(EcosystemFixture, BuildNetworkCreatesAllSpeakers) {
+  bgp::BgpNetwork network(1);
+  eco().build_network(network);
+  EXPECT_EQ(network.speaker_count(), eco().directory().size());
+  for (const net::Asn asn : eco().members()) {
+    EXPECT_TRUE(network.contains(asn));
+  }
+}
+
+TEST_F(EcosystemFixture, MeasurementAnnouncementsReachMembers) {
+  bgp::BgpNetwork network(1);
+  eco().build_network(network);
+  const net::Prefix meas = eco().measurement().prefix;
+
+  network.announce(eco().measurement().commodity_origin, meas);
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco().measurement().internet2_re_origin, meas, re_only);
+  network.run_to_convergence();
+
+  std::size_t with_route = 0;
+  for (const net::Asn member : eco().members()) {
+    with_route += network.speaker(member)->has_route(meas) ? 1 : 0;
+  }
+  // Nearly every member should have some route to the measurement prefix.
+  EXPECT_GT(with_route, eco().members().size() * 9 / 10);
+}
+
+TEST_F(EcosystemFixture, ReOnlyAnnouncementStaysOffCommodityCore) {
+  bgp::BgpNetwork network(1);
+  eco().build_network(network);
+  const net::Prefix meas = eco().measurement().prefix;
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco().measurement().internet2_re_origin, meas, re_only);
+  network.run_to_convergence();
+  for (const net::Asn tier1 : eco().tier1s()) {
+    EXPECT_EQ(network.speaker(tier1)->best(meas), nullptr) << tier1.to_string();
+  }
+}
+
+TEST_F(EcosystemFixture, GeantDoesNotGiveNiksInternet2Routes) {
+  bgp::BgpNetwork network(1);
+  eco().build_network(network);
+  const net::Prefix meas = eco().measurement().prefix;
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco().internet2(), meas, re_only);
+  network.run_to_convergence();
+
+  // NIKS has no route via GEANT; its R&E route comes via NORDUnet.
+  const auto candidates = network.speaker(eco().niks())->candidates(meas);
+  for (const bgp::Route& r : candidates) {
+    EXPECT_NE(r.learned_from, eco().geant());
+  }
+  const bgp::Route* best = network.speaker(eco().niks())->best(meas);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->learned_from, eco().nordunet());
+}
+
+TEST_F(EcosystemFixture, NiksPrefersGeantForSurfRoute) {
+  bgp::BgpNetwork network(1);
+  eco().build_network(network);
+  const net::Prefix meas = eco().measurement().prefix;
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco().measurement().surf_re_origin, meas, re_only);
+  network.announce(eco().measurement().commodity_origin, meas);
+  network.run_to_convergence();
+
+  const bgp::Route* best = network.speaker(eco().niks())->best(meas);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->learned_from, eco().geant());  // localpref 102 wins
+}
+
+// ----------------------------------------------------------------- geo
+
+TEST(Geo, ProfilesAreWellFormed) {
+  const auto nrens = default_nren_profiles();
+  EXPECT_GE(nrens.size(), 30u);
+  std::unordered_set<std::uint32_t> asns;
+  for (const NrenProfile& p : nrens) {
+    EXPECT_FALSE(p.country.empty());
+    EXPECT_TRUE(p.asn.valid());
+    EXPECT_TRUE(asns.insert(p.asn.value()).second) << p.name << " duplicate ASN";
+    EXPECT_GE(p.member_prepend_probability, 0.0);
+    EXPECT_LE(p.member_prepend_probability, 1.0);
+  }
+  const auto regionals = default_regional_profiles();
+  EXPECT_GE(regionals.size(), 40u);
+  for (const RegionalProfile& p : regionals) {
+    EXPECT_EQ(p.us_state.size(), 2u);
+    EXPECT_TRUE(asns.insert(p.asn.value()).second) << p.name << " duplicate ASN";
+  }
+}
+
+TEST(Geo, KnownNetworksPresent) {
+  bool surf = false, dfn = false, nysernet = false, cenic = false;
+  for (const NrenProfile& p : default_nren_profiles()) {
+    surf |= p.name == "SURF" && p.country == "NL";
+    dfn |= p.name == "DFN" && p.shares_provider_with_vantage;
+  }
+  for (const RegionalProfile& p : default_regional_profiles()) {
+    nysernet |= p.name == "NYSERNet" && !p.provides_commodity &&
+                p.member_prepend_probability > 0.8;
+    cenic |= p.name == "CENIC" && p.provides_commodity;
+  }
+  EXPECT_TRUE(surf);
+  EXPECT_TRUE(dfn);
+  EXPECT_TRUE(nysernet);
+  EXPECT_TRUE(cenic);
+}
+
+TEST(Geo, RegionListsUniqueAndSorted) {
+  const auto countries = european_countries();
+  EXPECT_TRUE(std::is_sorted(countries.begin(), countries.end()));
+  EXPECT_EQ(std::unordered_set<std::string>(countries.begin(), countries.end())
+                .size(),
+            countries.size());
+  const auto states = us_states();
+  EXPECT_TRUE(std::is_sorted(states.begin(), states.end()));
+  EXPECT_GE(states.size(), 40u);
+}
+
+TEST(EcosystemParams, ScalingKeepsMinimums) {
+  EcosystemParams params;
+  const EcosystemParams tiny = params.scaled(0.001);
+  EXPECT_GE(tiny.member_count, 20);
+  EXPECT_GE(tiny.target_prefixes, 40);
+  EXPECT_GE(tiny.vrf_split_members, 1);
+  EXPECT_GE(tiny.route_age_ases, 1);
+}
+
+}  // namespace
+}  // namespace re::topo

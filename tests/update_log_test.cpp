@@ -1,0 +1,78 @@
+// Tests for the collector update log (window queries, RIB reconstruction).
+#include <gtest/gtest.h>
+
+#include "bgp/update_log.h"
+
+namespace re::bgp {
+namespace {
+
+using net::Asn;
+using net::Prefix;
+
+const Prefix kPrefix = *Prefix::parse("163.253.63.0/24");
+const Prefix kOther = *Prefix::parse("10.0.0.0/8");
+
+CollectorUpdate update(net::SimTime t, Asn peer, bool withdraw,
+                       AsPath path = AsPath{}) {
+  return CollectorUpdate{t, peer, kPrefix, withdraw, std::move(path)};
+}
+
+TEST(UpdateLog, CountInWindowFiltersTimeAndPrefix) {
+  UpdateLog log;
+  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
+  log.record(update(20, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}}));
+  log.record(CollectorUpdate{15, Asn{1}, kOther, false, AsPath{Asn{1}}});
+  EXPECT_EQ(log.count_in_window(kPrefix, 0, 100), 2u);
+  EXPECT_EQ(log.count_in_window(kPrefix, 0, 15), 1u);
+  EXPECT_EQ(log.count_in_window(kPrefix, 20, 21), 1u);  // inclusive begin
+  EXPECT_EQ(log.count_in_window(kPrefix, 0, 10), 0u);   // exclusive end
+  EXPECT_EQ(log.count_in_window(kOther, 0, 100), 1u);
+}
+
+TEST(UpdateLog, InWindowReturnsMatchingUpdates) {
+  UpdateLog log;
+  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
+  log.record(update(50, Asn{2}, true));
+  const auto window = log.in_window(kPrefix, 0, 60);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0].peer, Asn{1});
+  EXPECT_TRUE(window[1].withdraw);
+}
+
+TEST(UpdateLog, RibAtReconstructsLatestState) {
+  UpdateLog log;
+  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
+  log.record(update(20, Asn{2}, false, AsPath{Asn{2}, Asn{9}}));
+  log.record(update(30, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}}));
+  log.record(update(40, Asn{2}, true));
+
+  const auto at25 = log.rib_at(kPrefix, 25);
+  ASSERT_EQ(at25.size(), 2u);
+  EXPECT_EQ(at25.at(Asn{1}).length(), 2u);
+
+  const auto at35 = log.rib_at(kPrefix, 35);
+  EXPECT_EQ(at35.at(Asn{1}).length(), 3u);  // replaced by the newer path
+  EXPECT_TRUE(at35.count(Asn{2}));
+
+  const auto at45 = log.rib_at(kPrefix, 45);
+  EXPECT_FALSE(at45.count(Asn{2}));  // withdrawn
+  EXPECT_TRUE(at45.count(Asn{1}));
+}
+
+TEST(UpdateLog, RibAtBoundaryIsInclusive) {
+  UpdateLog log;
+  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
+  EXPECT_TRUE(log.rib_at(kPrefix, 10).count(Asn{1}));
+  EXPECT_FALSE(log.rib_at(kPrefix, 9).count(Asn{1}));
+}
+
+TEST(UpdateLog, ClearEmptiesLog) {
+  UpdateLog log;
+  log.record(update(10, Asn{1}, false));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.updates().empty());
+}
+
+}  // namespace
+}  // namespace re::bgp

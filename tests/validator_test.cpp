@@ -1,0 +1,185 @@
+// Tests for the Table 3 view-congruence validator and the planted
+// ground-truth validation.
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "probing/seeds.h"
+
+namespace re::core {
+namespace {
+
+struct World {
+  topo::Ecosystem ecosystem;
+  std::vector<PrefixInference> inferences;
+  ExperimentResult result;
+};
+
+World* make_world() {
+  topo::EcosystemParams params;
+  params = params.scaled(0.08);
+  params.seed = 20250529;
+  auto* world = new World{topo::Ecosystem::generate(params), {}, {}};
+  const probing::SeedDatabase db =
+      probing::SeedDatabase::generate(world->ecosystem, probing::SeedGenParams{});
+  const probing::SelectionResult selection =
+      probing::select_probe_seeds(world->ecosystem, db, 11);
+  ExperimentConfig config;
+  config.experiment = ReExperiment::kInternet2;
+  config.seed = 502;
+  world->result =
+      ExperimentController(world->ecosystem, selection.seeds, config).run();
+  world->inferences = classify_experiment(world->result);
+  return world;
+}
+
+class ValidatorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = make_world(); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static const World& world() { return *world_; }
+
+ private:
+  static const World* world_;
+};
+const World* ValidatorFixture::world_ = nullptr;
+
+TEST_F(ValidatorFixture, MajorityInferenceCoversObservedAses) {
+  const auto majority = majority_inference_by_as(world().inferences);
+  EXPECT_GT(majority.size(), 100u);
+  // Every AS with a majority appears among the inferences.
+  for (const auto& [as, inference] : majority) {
+    bool found = false;
+    for (const PrefixInference& p : world().inferences) {
+      if (p.origin == as && p.inference != Inference::kExcludedLoss) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << as.to_string();
+  }
+}
+
+TEST_F(ValidatorFixture, Table3MostViewsCongruent) {
+  const Table3 table =
+      validate_against_views(world().inferences, world().result, world().ecosystem);
+  std::size_t congruent = 0, incongruent = 0;
+  for (const auto& [inference, row] : table.rows) {
+    congruent += row.congruent;
+    incongruent += row.incongruent;
+  }
+  // Paper: 22 of 25 congruent, with VRF-split export behind every
+  // incongruence. At test scale the view population is small but the
+  // structure must hold exactly: only planted VRF ASes are incongruent.
+  ASSERT_GT(congruent + incongruent, 2u);
+  std::size_t planted_vrf = 0;
+  for (const net::Asn as : world().ecosystem.member_view_peers()) {
+    const topo::AsRecord* r = world().ecosystem.directory().find(as);
+    planted_vrf += r->traits.vrf_split_export ? 1 : 0;
+  }
+  EXPECT_LE(incongruent, planted_vrf);
+  EXPECT_GE(congruent, congruent + incongruent - planted_vrf);
+}
+
+TEST_F(ValidatorFixture, VrfSplitAsesAreTheIncongruentOnes) {
+  const Table3 table =
+      validate_against_views(world().inferences, world().result, world().ecosystem);
+  std::size_t vrf_incongruent = 0, vrf_total = 0;
+  for (const ViewCongruence& d : table.details) {
+    if (d.vrf_split) {
+      ++vrf_total;
+      vrf_incongruent += d.congruent ? 0 : 1;
+      // A VRF-split AS shows the commodity origin to the collector even
+      // though it prefers (and forwards over) R&E.
+      if (d.inferred == Inference::kAlwaysRe) {
+        EXPECT_FALSE(d.congruent) << d.as.to_string();
+        EXPECT_TRUE(d.saw_commodity_origin);
+        EXPECT_FALSE(d.saw_re_origin);
+      }
+    } else if (!d.congruent) {
+      ADD_FAILURE() << "unexpected incongruence at non-VRF AS "
+                    << d.as.to_string();
+    }
+  }
+  ASSERT_GT(vrf_total, 0u);
+  EXPECT_EQ(vrf_incongruent, vrf_total);
+}
+
+TEST_F(ValidatorFixture, AlwaysReViewsSawOnlyReOrigin) {
+  const Table3 table =
+      validate_against_views(world().inferences, world().result, world().ecosystem);
+  for (const ViewCongruence& d : table.details) {
+    if (d.inferred == Inference::kAlwaysRe && d.congruent) {
+      EXPECT_TRUE(d.saw_re_origin);
+      EXPECT_FALSE(d.saw_commodity_origin);
+    }
+    if (d.inferred == Inference::kSwitchToRe && d.congruent) {
+      EXPECT_TRUE(d.saw_re_origin);
+      EXPECT_TRUE(d.saw_commodity_origin);
+    }
+  }
+}
+
+TEST_F(ValidatorFixture, GroundTruthSampleLimit) {
+  const GroundTruthReport full =
+      validate_against_plant(world().inferences, world().ecosystem);
+  const GroundTruthReport sample =
+      validate_against_plant(world().inferences, world().ecosystem, 33);
+  EXPECT_EQ(sample.ases_checked, 33u);
+  EXPECT_GE(full.ases_checked, sample.ases_checked);
+  // Paper: >= 32 of 33 correct.
+  EXPECT_GE(sample.correct, 31u);
+}
+
+TEST_F(ValidatorFixture, ConfusionMatrixNonEmpty) {
+  const GroundTruthReport report =
+      validate_against_plant(world().inferences, world().ecosystem);
+  EXPECT_FALSE(report.confusion.empty());
+  std::size_t total = 0;
+  for (const auto& [key, count] : report.confusion) total += count;
+  EXPECT_EQ(total, report.ases_checked);
+}
+
+TEST(MajorityInference, TieYieldsNullopt) {
+  std::vector<PrefixInference> inferences;
+  PrefixInference a;
+  a.origin = net::Asn{1};
+  a.prefix = *net::Prefix::parse("10.0.0.0/24");
+  a.inference = Inference::kAlwaysRe;
+  PrefixInference b = a;
+  b.prefix = *net::Prefix::parse("10.0.1.0/24");
+  b.inference = Inference::kAlwaysCommodity;
+  inferences.push_back(a);
+  inferences.push_back(b);
+  const auto majority = majority_inference_by_as(inferences);
+  ASSERT_TRUE(majority.count(net::Asn{1}));
+  EXPECT_FALSE(majority.at(net::Asn{1}).has_value());
+}
+
+TEST(MajorityInference, ClearWinnerReported) {
+  std::vector<PrefixInference> inferences;
+  for (int i = 0; i < 3; ++i) {
+    PrefixInference p;
+    p.origin = net::Asn{1};
+    p.prefix = net::Prefix(net::IPv4Address(0x0a000000u + (i << 8)), 24);
+    p.inference = i < 2 ? Inference::kAlwaysRe : Inference::kMixed;
+    inferences.push_back(p);
+  }
+  const auto majority = majority_inference_by_as(inferences);
+  EXPECT_EQ(majority.at(net::Asn{1}), Inference::kAlwaysRe);
+}
+
+TEST(MajorityInference, LossPrefixesIgnored) {
+  std::vector<PrefixInference> inferences;
+  PrefixInference p;
+  p.origin = net::Asn{1};
+  p.prefix = *net::Prefix::parse("10.0.0.0/24");
+  p.inference = Inference::kExcludedLoss;
+  inferences.push_back(p);
+  EXPECT_TRUE(majority_inference_by_as(inferences).empty());
+}
+
+}  // namespace
+}  // namespace re::core
