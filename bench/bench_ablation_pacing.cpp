@@ -6,13 +6,18 @@
 //   2. route flap damping — ~9% of ASes damp; nine changes minutes apart
 //      accumulate penalties past the suppress threshold, hiding routes.
 #include <cstdio>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
+#include "bench/timing.h"
 #include "bench/world.h"
 #include "core/classifier.h"
+#include "runtime/thread_pool.h"
 
 int main() {
   using namespace re;
+  bench::BenchTimer timer("bench_ablation_pacing");
   const bench::World world = bench::make_world();
 
   auto run_with = [&](net::SimTime wait, bool full_convergence) {
@@ -39,14 +44,33 @@ int main() {
       {"no wait (20 seconds, unconverged)", 20, false},
   };
 
-  const auto baseline = run_with(net::kHour, true);
+  // All four runs (baseline + three variants) are independent experiments
+  // against the shared read-only world — one flat batch on the pool.
+  runtime::ThreadPool pool;
+  std::vector<core::PrefixInference> baseline;
+  std::vector<std::vector<core::PrefixInference>> variant_results(3);
+  timer.timed(
+      "variants",
+      [&] {
+        std::vector<std::function<void()>> tasks;
+        tasks.push_back([&] { baseline = run_with(net::kHour, true); });
+        for (std::size_t i = 0; i < 3; ++i) {
+          tasks.push_back([&, i] {
+            variant_results[i] = run_with(variants[i].wait, variants[i].full);
+          });
+        }
+        pool.run_batch(tasks);
+      },
+      pool.thread_count());
+
   std::unordered_map<net::Prefix, core::Inference> reference;
   for (const auto& p : baseline) reference[p.prefix] = p.inference;
 
   std::printf("%-36s %10s %10s %12s %12s\n", "variant", "switch", "osc.",
               "loss", "vs baseline");
-  for (const Variant& v : variants) {
-    const auto inferences = run_with(v.wait, v.full);
+  for (std::size_t vi = 0; vi < 3; ++vi) {
+    const Variant& v = variants[vi];
+    const auto& inferences = variant_results[vi];
     std::size_t switches = 0, oscillating = 0, loss = 0, changed = 0;
     for (const auto& p : inferences) {
       switches += p.inference == core::Inference::kSwitchToRe ? 1 : 0;

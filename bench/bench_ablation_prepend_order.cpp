@@ -7,13 +7,18 @@
 // shuffled schedule makes the same networks flip back and forth, which the
 // classifier can only call Oscillating.
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <vector>
 
+#include "bench/timing.h"
 #include "bench/world.h"
 #include "core/classifier.h"
+#include "runtime/thread_pool.h"
 
 int main() {
   using namespace re;
+  bench::BenchTimer timer("bench_ablation_prepend_order");
   const bench::World world = bench::make_world();
 
   const std::vector<core::PrependConfig> naive = {
@@ -31,8 +36,16 @@ int main() {
             .run());
   };
 
-  const auto paper = run_with(core::paper_schedule());
-  const auto shuffled = run_with(naive);
+  // The two orderings are independent experiments — run both concurrently.
+  runtime::ThreadPool pool;
+  std::vector<core::PrefixInference> paper, shuffled;
+  timer.timed(
+      "orderings",
+      [&] {
+        pool.run_batch({[&] { paper = run_with(core::paper_schedule()); },
+                        [&] { shuffled = run_with(naive); }});
+      },
+      pool.thread_count());
 
   // How are the *planted equal-localpref* ASes classified under each order?
   auto tally = [&](const std::vector<core::PrefixInference>& inferences) {

@@ -8,48 +8,41 @@
 // disappear — demonstrating that the 0-1 switchers are genuinely produced
 // by route-age semantics and not an artifact of the schedule.
 #include <cstdio>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
+#include "bench/timing.h"
 #include "bench/world.h"
 #include "core/comparator.h"
 #include "core/switch_cdf.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
-// Runs both experiments and returns the count of ASes first switching at
-// 0-1 in both, plus how many of those are planted case-J networks.
+// The count of ASes first switching at 0-1 in both experiments, plus how
+// many of those are planted case-J networks.
 struct ZeroOneSwitchers {
   std::size_t ases = 0;
   std::size_t planted_route_age = 0;
 };
 
-ZeroOneSwitchers count_zero_one_switchers(const re::bench::World& world,
-                                          bool disable_route_age) {
+re::core::ExperimentResult run_on(const re::topo::Ecosystem& eco,
+                                  const re::bench::World& world,
+                                  re::core::ReExperiment which) {
   using namespace re;
-  // The fidelity knob is per-AS decision configuration; when disabling,
-  // strip the plant from a copied ecosystem so the rebuilt networks use
-  // router-id tie-breaks everywhere.
-  topo::Ecosystem ecosystem = world.ecosystem;
-  if (disable_route_age) {
-    for (const net::Asn member : ecosystem.members()) {
-      topo::AsRecord* record = ecosystem.directory().find(member);
-      record->traits.uses_route_age = false;
-      record->traits.ignores_as_path_length = false;
-    }
-  }
-  const topo::Ecosystem& eco = disable_route_age ? ecosystem : world.ecosystem;
+  core::ExperimentConfig config;
+  config.experiment = which;
+  config.seed = which == core::ReExperiment::kSurf ? 501 : 502;
+  config.auto_plant_outages = false;
+  return core::ExperimentController(eco, world.selection.seeds, config).run();
+}
 
-  auto run_on = [&](core::ReExperiment which) {
-    core::ExperimentConfig config;
-    config.experiment = which;
-    config.seed = which == core::ReExperiment::kSurf ? 501 : 502;
-    config.auto_plant_outages = false;
-    return core::ExperimentController(eco, world.selection.seeds, config).run();
-  };
-  const auto surf = core::classify_experiment(run_on(core::ReExperiment::kSurf));
-  const auto i2 =
-      core::classify_experiment(run_on(core::ReExperiment::kInternet2));
-
+ZeroOneSwitchers count_zero_one_switchers(
+    const re::bench::World& world,
+    const std::vector<re::core::PrefixInference>& surf,
+    const std::vector<re::core::PrefixInference>& i2) {
+  using namespace re;
   const auto schedule = core::paper_schedule();
   int first_comm_step = -1;
   for (std::size_t i = 0; i < schedule.size(); ++i) {
@@ -85,10 +78,44 @@ ZeroOneSwitchers count_zero_one_switchers(const re::bench::World& world,
 
 int main() {
   using namespace re;
+  bench::BenchTimer timer("bench_ablation_route_age");
   const bench::World world = bench::make_world();
 
-  const ZeroOneSwitchers with_age = count_zero_one_switchers(world, false);
-  const ZeroOneSwitchers without_age = count_zero_one_switchers(world, true);
+  // The fidelity knob is per-AS decision configuration; for the disabled
+  // variant, strip the plant from a copied ecosystem so the rebuilt
+  // networks use router-id tie-breaks everywhere.
+  topo::Ecosystem stripped = world.ecosystem;
+  for (const net::Asn member : stripped.members()) {
+    topo::AsRecord* record = stripped.directory().find(member);
+    record->traits.uses_route_age = false;
+    record->traits.ignores_as_path_length = false;
+  }
+
+  // Four independent experiments (two variants x two experiments) — run
+  // them as one flat batch on the pool.
+  runtime::ThreadPool pool;
+  std::vector<core::PrefixInference> runs[4];
+  timer.timed(
+      "variants",
+      [&] {
+        const topo::Ecosystem* ecos[2] = {&world.ecosystem, &stripped};
+        const core::ReExperiment whichs[2] = {core::ReExperiment::kSurf,
+                                              core::ReExperiment::kInternet2};
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < 4; ++i) {
+          tasks.push_back([&, i] {
+            runs[i] = core::classify_experiment(
+                run_on(*ecos[i / 2], world, whichs[i % 2]));
+          });
+        }
+        pool.run_batch(tasks);
+      },
+      pool.thread_count());
+
+  const ZeroOneSwitchers with_age =
+      count_zero_one_switchers(world, runs[0], runs[1]);
+  const ZeroOneSwitchers without_age =
+      count_zero_one_switchers(world, runs[2], runs[3]);
 
   std::printf(
       "ASes first switching at 0-1 in BOTH experiments:\n"

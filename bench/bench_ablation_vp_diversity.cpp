@@ -6,13 +6,18 @@
 // Mixed class disappears (no within-round diversity is observable) and
 // interconnect-router addresses silently misattribute the policy.
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <vector>
 
+#include "bench/timing.h"
 #include "bench/world.h"
 #include "core/classifier.h"
+#include "runtime/thread_pool.h"
 
 int main() {
   using namespace re;
+  bench::BenchTimer timer("bench_ablation_vp_diversity");
 
   topo::EcosystemParams params;
   const double scale = bench::bench_scale();
@@ -22,25 +27,43 @@ int main() {
   const probing::SeedDatabase db =
       probing::SeedDatabase::generate(ecosystem, probing::SeedGenParams{});
 
+  // The three target-count variants reselect seeds and rerun the whole
+  // experiment independently — batch them on the pool.
+  const int target_counts[] = {1, 2, 3};
+  runtime::ThreadPool pool;
+  std::vector<std::map<core::Inference, std::size_t>> results(3);
+  timer.timed(
+      "variants",
+      [&] {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < 3; ++i) {
+          tasks.push_back([&, i] {
+            const probing::SelectionResult selection =
+                probing::select_probe_seeds(ecosystem, db, 11,
+                                            target_counts[i]);
+            core::ExperimentConfig config;
+            config.experiment = core::ReExperiment::kInternet2;
+            config.seed = 502;
+            config.auto_plant_outages = false;
+            const auto inferences = core::classify_experiment(
+                core::ExperimentController(ecosystem, selection.seeds, config)
+                    .run());
+            for (const auto& p : inferences) ++results[i][p.inference];
+          });
+        }
+        pool.run_batch(tasks);
+      },
+      pool.thread_count());
+
   std::printf("%-14s %10s %10s %10s %10s %10s\n", "targets/prefix",
               "always-re", "comm", "switch", "mixed", "loss");
-  std::map<int, std::map<core::Inference, std::size_t>> results;
-  for (const int targets : {1, 2, 3}) {
-    const probing::SelectionResult selection =
-        probing::select_probe_seeds(ecosystem, db, 11, targets);
-    core::ExperimentConfig config;
-    config.experiment = core::ReExperiment::kInternet2;
-    config.seed = 502;
-    config.auto_plant_outages = false;
-    const auto inferences = core::classify_experiment(
-        core::ExperimentController(ecosystem, selection.seeds, config).run());
-    auto& counts = results[targets];
-    for (const auto& p : inferences) ++counts[p.inference];
-    auto count = [&](core::Inference i) {
-      const auto it = counts.find(i);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& counts = results[i];
+    auto count = [&](core::Inference inference) {
+      const auto it = counts.find(inference);
       return it == counts.end() ? std::size_t{0} : it->second;
     };
-    std::printf("%-14d %10zu %10zu %10zu %10zu %10zu\n", targets,
+    std::printf("%-14d %10zu %10zu %10zu %10zu %10zu\n", target_counts[i],
                 count(core::Inference::kAlwaysRe),
                 count(core::Inference::kAlwaysCommodity),
                 count(core::Inference::kSwitchToRe),

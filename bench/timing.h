@@ -1,0 +1,153 @@
+// Unified bench timing harness.
+//
+// Every bench binary records wall-clock per scenario through a
+// BenchTimer; on destruction the timer merges its rows into
+// BENCH_results.json (override the path with RE_BENCH_RESULTS), keyed by
+// (bench, scenario) so re-running one bench refreshes only its own rows.
+// The file is the perf trajectory across PRs: a flat list of scenarios
+// with wall-clock seconds and the thread count they ran with.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/json.h"
+
+namespace re::bench {
+
+struct TimingRow {
+  std::string bench;
+  std::string scenario;
+  double wall_seconds = 0.0;
+  std::size_t threads = 1;
+};
+
+inline std::string bench_results_path() {
+  if (const char* env = std::getenv("RE_BENCH_RESULTS")) return env;
+  return "BENCH_results.json";
+}
+
+class BenchTimer {
+ public:
+  explicit BenchTimer(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  BenchTimer(const BenchTimer&) = delete;
+  BenchTimer& operator=(const BenchTimer&) = delete;
+
+  ~BenchTimer() { write(); }
+
+  void record(const std::string& scenario, double wall_seconds,
+              std::size_t threads = 1) {
+    rows_.push_back(TimingRow{bench_, scenario, wall_seconds, threads});
+  }
+
+  // Times fn() and records the scenario; returns fn's result.
+  template <typename Fn>
+  auto timed(const std::string& scenario, Fn&& fn, std::size_t threads = 1) {
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      record(scenario, elapsed_since(start), threads);
+    } else {
+      auto result = fn();
+      record(scenario, elapsed_since(start), threads);
+      return result;
+    }
+  }
+
+  // Merges this bench's rows into the results file. Called by the
+  // destructor; safe to call early (subsequent records re-merge).
+  void write() const {
+    if (rows_.empty()) return;
+    std::vector<TimingRow> merged = load_existing();
+    for (const TimingRow& row : rows_) {
+      bool replaced = false;
+      for (TimingRow& existing : merged) {
+        if (existing.bench == row.bench && existing.scenario == row.scenario) {
+          existing = row;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) merged.push_back(row);
+    }
+
+    io::JsonWriter writer;
+    writer.begin_object();
+    writer.key("scenarios");
+    writer.begin_array();
+    for (const TimingRow& row : merged) {
+      writer.begin_object();
+      writer.field("bench", row.bench);
+      writer.field("scenario", row.scenario);
+      writer.field("wall_seconds", row.wall_seconds);
+      writer.field("threads", std::uint64_t{row.threads});
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+
+    const std::string path = bench_results_path();
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out, "%s\n", writer.str().c_str());
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  static double elapsed_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  static std::vector<TimingRow> load_existing() {
+    std::vector<TimingRow> rows;
+    std::FILE* in = std::fopen(bench_results_path().c_str(), "r");
+    if (in == nullptr) return rows;
+    std::string text;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+      text.append(buffer, n);
+    }
+    std::fclose(in);
+
+    const auto parsed = io::parse_json(text);
+    if (!parsed) return rows;
+    const io::JsonValue* scenarios = parsed->find("scenarios");
+    if (scenarios == nullptr || !scenarios->is_array()) return rows;
+    for (const io::JsonValue& entry : scenarios->as_array()) {
+      if (!entry.is_object()) continue;
+      TimingRow row;
+      if (const auto* v = entry.find("bench"); v && v->is_string()) {
+        row.bench = v->as_string();
+      }
+      if (const auto* v = entry.find("scenario"); v && v->is_string()) {
+        row.scenario = v->as_string();
+      }
+      if (const auto* v = entry.find("wall_seconds"); v && v->is_number()) {
+        row.wall_seconds = v->as_number();
+      }
+      if (const auto* v = entry.find("threads"); v && v->is_number()) {
+        row.threads = static_cast<std::size_t>(v->as_number());
+      }
+      if (!row.bench.empty() && !row.scenario.empty()) {
+        rows.push_back(std::move(row));
+      }
+    }
+    return rows;
+  }
+
+  std::string bench_;
+  std::vector<TimingRow> rows_;
+};
+
+}  // namespace re::bench

@@ -7,6 +7,11 @@
 // the way the paper's tooling emits JSON results.
 //
 // usage: re_survey [--scale S] [--seed N] [--json FILE] [--max-lines N]
+//                  [--threads N]
+//
+// --threads sets the probing worker count (default: RE_THREADS or the
+// hardware concurrency). The per-prefix probing phase shards across the
+// pool; results are bit-identical for every thread count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include "core/validator.h"
 #include "io/results_io.h"
 #include "probing/seeds.h"
+#include "runtime/thread_pool.h"
 #include "topology/ecosystem.h"
 
 namespace {
@@ -28,6 +34,7 @@ struct Options {
   std::uint64_t seed = 20250529;
   std::string json_path;
   std::size_t max_lines = 0;  // 0 = unlimited
+  std::size_t threads = re::runtime::ThreadPool::default_thread_count();
 };
 
 Options parse_options(int argc, char** argv) {
@@ -44,10 +51,12 @@ Options parse_options(int argc, char** argv) {
       options.json_path = argv[++i];
     } else if (has_value("--max-lines")) {
       options.max_lines = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (has_value("--threads")) {
+      options.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: re_survey [--scale S] [--seed N] [--json FILE]"
-                   " [--max-lines N]\n");
+                   " [--max-lines N] [--threads N]\n");
       std::exit(2);
     }
   }
@@ -69,21 +78,26 @@ int main(int argc, char** argv) {
       probing::SeedDatabase::generate(ecosystem, probing::SeedGenParams{});
   const probing::SelectionResult selection =
       probing::select_probe_seeds(ecosystem, db, 11);
-  std::printf("surveying %zu prefixes (%zu ASes) with %zu responsive\n\n",
+  std::printf("surveying %zu prefixes (%zu ASes) with %zu responsive"
+              " (%zu probing threads)\n\n",
               selection.stats.total_prefixes, selection.stats.ases_total,
-              selection.stats.responsive);
+              selection.stats.responsive, options.threads);
+
+  runtime::ThreadPool pool(options.threads);
 
   core::ExperimentConfig surf_config;
   surf_config.experiment = core::ReExperiment::kSurf;
   surf_config.seed = options.seed ^ 501;
   const core::ExperimentResult surf_result =
-      core::ExperimentController(ecosystem, selection.seeds, surf_config).run();
+      core::ExperimentController(ecosystem, selection.seeds, surf_config, &pool)
+          .run();
 
   core::ExperimentConfig i2_config;
   i2_config.experiment = core::ReExperiment::kInternet2;
   i2_config.seed = options.seed ^ 502;
   const core::ExperimentResult i2_result =
-      core::ExperimentController(ecosystem, selection.seeds, i2_config).run();
+      core::ExperimentController(ecosystem, selection.seeds, i2_config, &pool)
+          .run();
 
   const auto surf = core::classify_experiment(surf_result);
   const auto i2 = core::classify_experiment(i2_result);

@@ -89,16 +89,40 @@ bool better_route(const Route& a, const Route& b, const DecisionConfig& config) 
   return compare(a, b, config).first < 0;
 }
 
+namespace {
+
+// Depth of a step in the decision order; deeper steps mean the contest
+// stayed open longer.
+std::size_t step_rank(DecisionStep step) {
+  for (std::size_t i = 0; i < std::size(kSteps); ++i) {
+    if (kSteps[i] == step) return i;
+  }
+  return std::size(kSteps);
+}
+
+}  // namespace
+
 DecisionResult select_best(std::span<const Route> candidates,
                            const DecisionConfig& config) {
   DecisionResult result;
   if (candidates.size() <= 1) return result;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const auto [c, step] = compare(candidates[i], candidates[result.best_index], config);
-    if (c < 0) {
+    if (compare(candidates[i], candidates[result.best_index], config).first < 0) {
       result.best_index = i;
-      result.decided_by = step;
-    } else if (result.decided_by == DecisionStep::kOnlyRoute) {
+    }
+  }
+  // decided_by is the step separating the winner from its *closest*
+  // runner-up — the candidate that survives the most steps against it —
+  // not whichever step happened to settle the last pairwise comparison.
+  // An equal-localpref field whose tie falls through to a later step must
+  // never be reported as a local-pref decision (the §4 inference signal).
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i == result.best_index) continue;
+    const auto [c, step] =
+        compare(candidates[result.best_index], candidates[i], config);
+    (void)c;
+    if (step_rank(step) > step_rank(result.decided_by) ||
+        result.decided_by == DecisionStep::kOnlyRoute) {
       result.decided_by = step;
     }
   }

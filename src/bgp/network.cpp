@@ -100,6 +100,10 @@ void BgpNetwork::enqueue(net::Asn from, net::Asn to, UpdateMessage update) {
 
 void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix) {
   for (const Session& session : from.sessions()) {
+    // A failed session carries nothing — not even a withdrawal. The
+    // remote end already invalidated the route when the failure was
+    // injected.
+    if (from.session_failed(session.neighbor, prefix)) continue;
     const EdgePrefixKey key{from.asn(), session.neighbor, prefix};
     auto announcement = from.eligible_announcement(session, prefix);
     auto it = sent_.find(key);
@@ -174,13 +178,23 @@ void BgpNetwork::set_origin_prepend(net::Asn origin, const net::Prefix& prefix,
 }
 
 void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix) {
+  // Sever the session first, in both directions, so that nothing queued
+  // below (or already in flight) can cross it: the repropagation a
+  // failure triggers must never resurrect the failed link itself.
+  for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Speaker* s = speaker(local)) {
+      s->set_session_failed(remote, prefix, true);
+    }
+  }
+  drop_in_flight(a, b, prefix);
+
   for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
     Speaker* s = speaker(local);
     if (s == nullptr) continue;
-    UpdateMessage withdraw;
-    withdraw.prefix = prefix;
-    withdraw.withdraw = true;
-    if (s->receive(remote, withdraw, clock_.now())) flush_exports(*s, prefix);
+    // Local state cleanup — the neighbor's route died with the session.
+    if (s->invalidate_neighbor_route(remote, prefix, clock_.now())) {
+      flush_exports(*s, prefix);
+    }
     if (collector_peers_.count(local) != 0) record_collector(local, prefix);
     // Forget what was sent over the dead session so that restoration
     // re-advertises from scratch.
@@ -190,11 +204,34 @@ void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix)
 
 void BgpNetwork::restore_session(net::Asn a, net::Asn b,
                                  const net::Prefix& prefix) {
+  // Bring both directions up before flushing either side, so each end's
+  // re-advertisement sees the session as usable.
+  for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Speaker* s = speaker(local)) {
+      s->set_session_failed(remote, prefix, false);
+    }
+  }
   for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
     Speaker* s = speaker(local);
     if (s == nullptr) continue;
     flush_exports(*s, prefix);
   }
+}
+
+void BgpNetwork::drop_in_flight(net::Asn a, net::Asn b,
+                                const net::Prefix& prefix) {
+  if (queue_.empty()) return;
+  std::vector<PendingMessage> keep;
+  keep.reserve(queue_.size());
+  while (!queue_.empty()) {
+    const PendingMessage& top = queue_.top();
+    const bool crosses = top.update.prefix == prefix &&
+                         ((top.from == a && top.to == b) ||
+                          (top.from == b && top.to == a));
+    if (!crosses) keep.push_back(top);
+    queue_.pop();
+  }
+  for (auto& msg : keep) queue_.push(std::move(msg));
 }
 
 ConvergenceStats BgpNetwork::run_to_convergence() {

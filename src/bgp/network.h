@@ -147,6 +147,10 @@ class BgpNetwork {
 
   void enqueue(net::Asn from, net::Asn to, UpdateMessage update);
 
+  // Removes queued messages for `prefix` crossing the (a, b) session in
+  // either direction (they died with the session).
+  void drop_in_flight(net::Asn a, net::Asn b, const net::Prefix& prefix);
+
   net::SimTime edge_delay(net::Asn from, net::Asn to);
 
   net::SimClock clock_;

@@ -1,6 +1,7 @@
 #include "bgp/speaker.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace re::bgp {
 namespace {
@@ -30,6 +31,39 @@ const Session* Speaker::session_to(net::Asn neighbor) const {
   return it == session_index_.end() ? nullptr : &sessions_[it->second];
 }
 
+void Speaker::set_session_failed(net::Asn neighbor, const net::Prefix& prefix,
+                                 bool failed) {
+  if (failed) {
+    failed_[neighbor].insert(prefix);
+    return;
+  }
+  const auto it = failed_.find(neighbor);
+  if (it == failed_.end()) return;
+  it->second.erase(prefix);
+  if (it->second.empty()) failed_.erase(it);
+}
+
+bool Speaker::session_failed(net::Asn neighbor,
+                             const net::Prefix& prefix) const {
+  const auto it = failed_.find(neighbor);
+  return it != failed_.end() && it->second.count(prefix) != 0;
+}
+
+bool Speaker::invalidate_neighbor_route(net::Asn neighbor,
+                                        const net::Prefix& prefix,
+                                        net::SimTime now) {
+  const auto rib_it = rib_.find(prefix);
+  if (rib_it == rib_.end()) return false;
+  PrefixState& state = rib_it->second;
+  const auto it = state.in.find(neighbor);
+  if (it == state.in.end()) return false;
+  state.in.erase(it);
+  if (damping_.enabled) {
+    state.damping[neighbor].record(damping_.withdraw_penalty, now, damping_);
+  }
+  return run_decision(state, now);
+}
+
 void Speaker::set_session_default_route(net::Asn neighbor) {
   const auto it = session_index_.find(neighbor);
   if (it != session_index_.end()) sessions_[it->second].default_route = true;
@@ -57,6 +91,9 @@ bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
                       net::SimTime now) {
   const Session* session = session_to(neighbor);
   if (session == nullptr) return false;
+  // Nothing crosses a failed session: late in-flight updates are lost the
+  // way TCP segments on a dead session are.
+  if (session_failed(neighbor, update.prefix)) return false;
   auto& state = rib_[update.prefix];
   state.prefix = update.prefix;
 
@@ -233,6 +270,7 @@ std::vector<Route> Speaker::all_candidates(const net::Prefix& prefix) const {
 
 std::optional<UpdateMessage> Speaker::eligible_announcement(
     const Session& to, const net::Prefix& prefix) const {
+  if (session_failed(to.neighbor, prefix)) return std::nullopt;
   const auto it = rib_.find(prefix);
   if (it == rib_.end() || !it->second.best) return std::nullopt;
   const Route& best = *it->second.best;
@@ -278,7 +316,13 @@ std::optional<UpdateMessage> Speaker::export_to(const Session& to,
   return withdraw;
 }
 
-void Speaker::clear_prefix(const net::Prefix& prefix) { rib_.erase(prefix); }
+void Speaker::clear_prefix(const net::Prefix& prefix) {
+  rib_.erase(prefix);
+  for (auto it = failed_.begin(); it != failed_.end();) {
+    it->second.erase(prefix);
+    it = it->second.empty() ? failed_.erase(it) : std::next(it);
+  }
+}
 
 std::vector<net::Prefix> Speaker::known_prefixes() const {
   std::vector<net::Prefix> out;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,19 @@ class Speaker {
   void add_session(Session session);
   const std::vector<Session>& sessions() const noexcept { return sessions_; }
   const Session* session_to(net::Asn neighbor) const;
+
+  // Failure state of the session to `neighbor`, scoped to `prefix` (the
+  // network layer injects per-prefix reachability failures). While failed,
+  // no update for the prefix is accepted from or exported to the neighbor.
+  void set_session_failed(net::Asn neighbor, const net::Prefix& prefix,
+                          bool failed);
+  bool session_failed(net::Asn neighbor, const net::Prefix& prefix) const;
+
+  // Invalidates whatever `neighbor` currently advertises for `prefix`
+  // (local state cleanup when the session fails — no message involved).
+  // Returns true if the best route changed.
+  bool invalidate_neighbor_route(net::Asn neighbor, const net::Prefix& prefix,
+                                 net::SimTime now);
 
   // The session carrying this AS's default route, if any.
   const Session* default_route_session() const;
@@ -159,6 +173,8 @@ class Speaker {
   std::vector<Session> sessions_;
   std::unordered_map<net::Asn, std::size_t> session_index_;
   std::unordered_map<net::Prefix, PrefixState> rib_;
+  // (neighbor, prefix) pairs whose session is currently failed.
+  std::unordered_map<net::Asn, std::unordered_set<net::Prefix>> failed_;
 };
 
 }  // namespace re::bgp

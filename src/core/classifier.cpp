@@ -47,6 +47,14 @@ PrefixInference classify_prefix(const PrefixObservation& observation,
   out.side = observation.side;
   out.rounds.reserve(observation.rounds.size());
 
+  // A prefix with zero probing rounds carries no signal at all; treat it
+  // like an all-loss prefix instead of reading front()/back() of an empty
+  // vector below.
+  if (observation.rounds.empty()) {
+    out.inference = Inference::kExcludedLoss;
+    return out;
+  }
+
   bool any_loss = false, any_mixed = false;
   for (const probing::PrefixRoundResult& round : observation.rounds) {
     const RoundState state = round_state(round, re_vlan);

@@ -40,11 +40,13 @@ ExperimentResult ExperimentController::run() {
   for (const net::Asn member : ecosystem_.members()) {
     if (!rng.chance(config_.p_week_variation)) continue;
     const topo::AsRecord* r = ecosystem_.directory().find(member);
-    if (r->re_providers.empty() ||
+    if (r == nullptr || r->re_providers.empty() ||
         (!r->traits.has_commodity && !r->traits.default_route_commodity)) {
-      continue;  // dropping the only connectivity would just mean loss
+      continue;  // unknown member, or dropping the only connectivity
     }
-    network.speaker(member)->import_policy().reject_neighbors.push_back(
+    bgp::Speaker* speaker = network.speaker(member);
+    if (speaker == nullptr) continue;
+    speaker->import_policy().reject_neighbors.push_back(
         r->re_providers.front());
   }
 
@@ -96,6 +98,7 @@ ExperimentResult ExperimentController::run() {
     for (const net::Asn member : ecosystem_.members()) {
       if (planted >= config_.auto_outage_count) break;
       const topo::AsRecord* r = ecosystem_.directory().find(member);
+      if (r == nullptr) continue;
       if (r->traits.stance != bgp::ReStance::kPreferRe ||
           r->traits.reject_re_routes || !r->traits.has_commodity ||
           r->re_providers.empty() ||
@@ -191,7 +194,7 @@ ExperimentResult ExperimentController::run() {
                               : std::optional<int>(iface->vlan_id);
     };
     probing::RoundResult round_result =
-        prober.run_round(seeds_, target_resolver, network.clock());
+        prober.run_round(seeds_, target_resolver, network.clock(), pool_);
     window.probe_end = network.clock().now();
 
     for (std::size_t i = 0; i < round_result.prefixes.size(); ++i) {

@@ -16,6 +16,7 @@
 #include "probing/host.h"
 #include "probing/prober.h"
 #include "probing/seeds.h"
+#include "runtime/thread_pool.h"
 #include "topology/ecosystem.h"
 
 namespace re::core {
@@ -116,12 +117,21 @@ struct ExperimentResult {
 };
 
 // Runs one experiment end to end on a freshly built network.
+//
+// When `pool` is non-null, the per-prefix probing phase of every round
+// shards across its workers. Probing is read-only against the converged
+// network state and every prefix draws from its own RNG stream, so the
+// result is bit-identical to a run without a pool.
 class ExperimentController {
  public:
   ExperimentController(const topo::Ecosystem& ecosystem,
                        const std::vector<probing::PrefixSeeds>& seeds,
-                       ExperimentConfig config)
-      : ecosystem_(ecosystem), seeds_(seeds), config_(std::move(config)) {}
+                       ExperimentConfig config,
+                       runtime::ThreadPool* pool = nullptr)
+      : ecosystem_(ecosystem),
+        seeds_(seeds),
+        config_(std::move(config)),
+        pool_(pool) {}
 
   ExperimentResult run();
 
@@ -134,6 +144,7 @@ class ExperimentController {
   const topo::Ecosystem& ecosystem_;
   const std::vector<probing::PrefixSeeds>& seeds_;
   ExperimentConfig config_;
+  runtime::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace re::core

@@ -2,49 +2,74 @@
 
 #include <cmath>
 
+#include "runtime/rng_streams.h"
+
 namespace re::probing {
+
+PrefixRoundResult Prober::probe_prefix(const PrefixSeeds& prefix_seeds,
+                                       const TargetResolver& resolver,
+                                       std::uint64_t stream_seed) const {
+  net::Rng rng(stream_seed);
+  PacketFactory factory(config_.source_address,
+                        static_cast<std::uint16_t>(rng.next() | 1));
+
+  PrefixRoundResult pr;
+  pr.prefix = prefix_seeds.prefix;
+  pr.origin = prefix_seeds.origin;
+  pr.outcomes.reserve(prefix_seeds.targets.size());
+  for (const ProbeTarget& target : prefix_seeds.targets) {
+    ProbeOutcome outcome;
+    outcome.address = target.address;
+    const bool lost = rng.chance(config_.transient_loss);
+    if (!lost) {
+      if (const auto vlan = resolver(prefix_seeds, target)) {
+        bool accepted = true;
+        if (config_.verify_packets) {
+          // Drive the wire layer: encode the probe, synthesize the
+          // target's answer, and match it the way scamper does.
+          const ProbePacket probe = factory.make_probe(target);
+          const auto response = factory.make_response(probe);
+          accepted = factory.matches(probe, response);
+          if (!accepted) ++pr.packet_mismatches;
+        }
+        if (accepted) {
+          outcome.responded = true;
+          outcome.vlan_id = *vlan;
+        }
+      }
+    }
+    pr.outcomes.push_back(outcome);
+  }
+  return pr;
+}
 
 RoundResult Prober::run_round(const std::vector<PrefixSeeds>& seeds,
                               const TargetResolver& resolver,
-                              net::SimClock& clock) {
+                              net::SimClock& clock,
+                              runtime::ThreadPool* pool) {
   RoundResult result;
   result.started_at = clock.now();
-  result.prefixes.reserve(seeds.size());
+  result.prefixes.resize(seeds.size());
 
-  PacketFactory factory(config_.source_address,
-                        static_cast<std::uint16_t>(rng_.next() | 1));
+  // One draw of the prober's own stream per round keeps successive rounds
+  // distinct; each prefix then owns the stream derived from (round seed,
+  // prefix index) — identical whether prefixes run serially or sharded
+  // across workers.
+  const std::uint64_t round_seed = rng_.next();
+  const auto probe_one = [&](std::size_t i) {
+    result.prefixes[i] = probe_prefix(
+        seeds[i], resolver, runtime::derive_stream_seed(round_seed, i));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(seeds.size(), probe_one);
+  } else {
+    for (std::size_t i = 0; i < seeds.size(); ++i) probe_one(i);
+  }
 
-  for (const PrefixSeeds& prefix_seeds : seeds) {
-    PrefixRoundResult pr;
-    pr.prefix = prefix_seeds.prefix;
-    pr.origin = prefix_seeds.origin;
-    pr.outcomes.reserve(prefix_seeds.targets.size());
-    for (const ProbeTarget& target : prefix_seeds.targets) {
-      ++result.probes_sent;
-      ProbeOutcome outcome;
-      outcome.address = target.address;
-      const bool lost = rng_.chance(config_.transient_loss);
-      if (!lost) {
-        if (const auto vlan = resolver(prefix_seeds, target)) {
-          bool accepted = true;
-          if (config_.verify_packets) {
-            // Drive the wire layer: encode the probe, synthesize the
-            // target's answer, and match it the way scamper does.
-            const ProbePacket probe = factory.make_probe(target);
-            const auto response = factory.make_response(probe);
-            accepted = factory.matches(probe, response);
-            if (!accepted) ++result.packet_mismatches;
-          }
-          if (accepted) {
-            outcome.responded = true;
-            outcome.vlan_id = *vlan;
-            ++result.responses;
-          }
-        }
-      }
-      pr.outcomes.push_back(outcome);
-    }
-    result.prefixes.push_back(std::move(pr));
+  for (const PrefixRoundResult& pr : result.prefixes) {
+    result.probes_sent += pr.outcomes.size();
+    result.responses += pr.response_count();
+    result.packet_mismatches += pr.packet_mismatches;
   }
 
   const double seconds =

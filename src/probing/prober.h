@@ -5,6 +5,11 @@
 // response arrived on. The actual routing outcome is supplied by a
 // resolver callback (the dataplane module), keeping the prober independent
 // of BGP machinery — as scamper is.
+//
+// Probing is read-only against the converged network state, so prefixes
+// shard cleanly across worker threads: every prefix consumes its own RNG
+// stream derived from (round seed, prefix index), which makes the
+// parallel result bit-identical to the serial one.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 #include "probing/host.h"
 #include "probing/packet.h"
 #include "probing/seeds.h"
+#include "runtime/thread_pool.h"
 
 namespace re::probing {
 
@@ -45,6 +51,8 @@ struct PrefixRoundResult {
   net::Prefix prefix;
   net::Asn origin;
   std::vector<ProbeOutcome> outcomes;
+  // Packet-codec verification failures for this prefix (see ProberConfig).
+  std::size_t packet_mismatches = 0;
 
   std::size_t response_count() const {
     std::size_t n = 0;
@@ -74,11 +82,20 @@ class Prober {
       : config_(config), rng_(seed) {}
 
   // Probes every target of every prefix once; advances `clock` by the
-  // round's wall time (#probes / pps).
+  // round's wall time (#probes / pps). When `pool` is non-null, prefixes
+  // shard across its workers; the resolver must then be safe to call
+  // concurrently against immutable network state. Output is identical
+  // with or without a pool.
   RoundResult run_round(const std::vector<PrefixSeeds>& seeds,
-                        const TargetResolver& resolver, net::SimClock& clock);
+                        const TargetResolver& resolver, net::SimClock& clock,
+                        runtime::ThreadPool* pool = nullptr);
 
  private:
+  // Probes one prefix's targets with the prefix's own RNG stream.
+  PrefixRoundResult probe_prefix(const PrefixSeeds& prefix_seeds,
+                                 const TargetResolver& resolver,
+                                 std::uint64_t stream_seed) const;
+
   ProberConfig config_;
   net::Rng rng_;
 };

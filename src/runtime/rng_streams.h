@@ -1,0 +1,29 @@
+// Deterministic RNG stream splitting for parallel sweeps.
+//
+// Every trial (or per-prefix probing shard) derives its own seed from the
+// master seed and its index, so the stream a unit of work consumes is a
+// pure function of (master, index) — independent of which thread runs it,
+// in what order, or whether the sweep runs serially at all. This is what
+// makes the parallel engine bit-identical to the serial path.
+#pragma once
+
+#include <cstdint>
+
+namespace re::runtime {
+
+// SplitMix64-style finalizer over the (master, index) pair. Two mixing
+// rounds keep adjacent indices statistically independent even when the
+// master seed is small (0, 1, 2, ... as tests use).
+constexpr std::uint64_t derive_stream_seed(std::uint64_t master,
+                                           std::uint64_t index) noexcept {
+  std::uint64_t z = master + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace re::runtime

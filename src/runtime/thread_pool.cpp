@@ -1,0 +1,106 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace re::runtime {
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("RE_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline-only pool
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ ||
+               (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = current_;  // shared ownership keeps the job alive past the
+                       // caller's return even if this worker wakes late
+    }
+    drain(*job);
+  }
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.count) break;
+    try {
+      (*job.fn)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Lock before notifying so the completion cannot slip into the gap
+      // between the caller's predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(mutex_);
+      work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // The caller works too: guarantees progress even if workers are slow to
+  // wake, and turns its wait below into a cheap formality.
+  drain(*job);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->count;
+  });
+  current_.reset();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
+  parallel_for(tasks.size(), [&](std::size_t i) { tasks[i](); });
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,82 @@
+// A fixed-size thread pool with a parallel_for / task-batch API.
+//
+// The pool exists for deterministic sweeps: work items write only to their
+// own pre-allocated output slot and draw randomness from their own derived
+// RNG stream (see rng_streams.h), so results are bit-identical to a serial
+// run regardless of thread count or scheduling order. Worker threads pull
+// indices from a shared atomic counter (dynamic scheduling), which load-
+// balances uneven items without affecting output.
+//
+// Thread count resolution: an explicit constructor argument wins;
+// otherwise the RE_THREADS environment variable; otherwise the hardware
+// concurrency. A pool of size <= 1 runs everything inline on the caller —
+// the degenerate pool is the serial path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace re::runtime {
+
+class ThreadPool {
+ public:
+  // `threads` counts the workers executing submitted work (the caller also
+  // participates in parallel_for). 0 and 1 both mean "no workers": all
+  // work runs inline on the calling thread.
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // The configured parallelism (1 when the pool is inline-only).
+  std::size_t thread_count() const noexcept {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  // Runs fn(i) once for every i in [0, count), blocking until all calls
+  // return. fn must confine its writes to per-index state. The first
+  // exception thrown by any invocation is rethrown on the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Runs every task in the batch, blocking until all complete. Equivalent
+  // to parallel_for over the batch indices.
+  void run_batch(const std::vector<std::function<void()>>& tasks);
+
+  // RE_THREADS if set and positive, else std::thread::hardware_concurrency.
+  static std::size_t default_thread_count();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;  // first failure; guarded by mutex_
+  };
+
+  void worker_loop();
+  // Pulls indices from `job` until exhausted; returns after contributing.
+  void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // Guarded by mutex_; non-null while a job runs. Workers copy the
+  // shared_ptr so a late wake-up never touches a freed job.
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace re::runtime

@@ -33,6 +33,20 @@ AsRecord& AsDirectory::add(AsRecord record) {
   return records_.back();
 }
 
+bool AsDirectory::erase(net::Asn asn) {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return false;
+  by_class_.clear();  // invalidate the lazily-built class index
+  const std::size_t index = it->second;
+  by_asn_.erase(it);
+  if (index + 1 != records_.size()) {
+    records_[index] = std::move(records_.back());
+    by_asn_[records_[index].asn] = index;
+  }
+  records_.pop_back();
+  return true;
+}
+
 const AsRecord* AsDirectory::find(net::Asn asn) const {
   const auto it = by_asn_.find(asn);
   return it == by_asn_.end() ? nullptr : &records_[it->second];

@@ -105,6 +105,9 @@ struct PrefixRecord {
 class AsDirectory {
  public:
   AsRecord& add(AsRecord record);
+  // Removes the record for `asn`; returns false when absent. Used to model
+  // directory gaps (an AS observed in BGP but missing from the registry).
+  bool erase(net::Asn asn);
   const AsRecord* find(net::Asn asn) const;
   AsRecord* find(net::Asn asn);
   bool contains(net::Asn asn) const { return by_asn_.count(asn) != 0; }

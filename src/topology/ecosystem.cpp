@@ -672,7 +672,9 @@ void Ecosystem::build_network(bgp::BgpNetwork& network) const {
   // builder sets them through a dedicated pass.)
   for (const net::Asn asn : members_) {
     const AsRecord* r = directory_.find(asn);
-    if (!r->traits.default_route_commodity) continue;
+    // The directory can lose members after generation (directory gaps);
+    // the member list is intentionally left untouched.
+    if (r == nullptr || !r->traits.default_route_commodity) continue;
     // A member with a hidden default route has no visible commodity
     // provider; attach a transit session used for default egress only.
     // Deterministic transit choice by ASN.

@@ -73,6 +73,17 @@ TEST(RoundState, NonRespondersIgnoredWhenOthersRespond) {
 
 // --------------------------------------------------------- classify_prefix
 
+TEST(ClassifyPrefix, EmptyRoundsIsExcludedLoss) {
+  // A prefix with no probing rounds at all (probing skipped or results
+  // truncated) must classify as excluded, not read off the ends of an
+  // empty timeline.
+  const PrefixObservation obs = make_observation({});
+  const PrefixInference result = classify_prefix(obs, kReVlan);
+  EXPECT_EQ(result.inference, Inference::kExcludedLoss);
+  EXPECT_TRUE(result.rounds.empty());
+  EXPECT_FALSE(result.first_re_round.has_value());
+}
+
 struct ClassifyCase {
   std::vector<std::string> rounds;
   Inference expected;

@@ -164,6 +164,40 @@ TEST(Decision, DecidedByReportsLocalPref) {
   EXPECT_EQ(result.decided_by, DecisionStep::kLocalPref);
 }
 
+TEST(Decision, DecidedByIsWinnerVsRunnerUp) {
+  // Three candidates where the winner eliminates one on local-pref and the
+  // closest runner-up on path length. decided_by must report the deciding
+  // step against the runner-up (kAsPathLength), not the step of whichever
+  // comparison the selection fold happened to perform last (kLocalPref —
+  // the pre-fix misattribution when the low-pref route is scanned first).
+  const Route low_pref = make_route(90, 2, Asn{1});
+  const Route winner = make_route(100, 2, Asn{2});
+  const Route runner_up = make_route(100, 3, Asn{3});
+  const Route routes[] = {low_pref, winner, runner_up};
+  const DecisionResult result = select_best(routes, DecisionConfig{});
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_EQ(result.decided_by, DecisionStep::kAsPathLength);
+}
+
+TEST(Decision, DecidedByIndependentOfCandidateOrder) {
+  Route low_pref = make_route(90, 2, Asn{1});
+  Route winner = make_route(100, 2, Asn{2});
+  Route runner_up = make_route(100, 3, Asn{3});
+  std::vector<Route> routes = {winner, runner_up, low_pref};
+  std::sort(routes.begin(), routes.end(),
+            [](const Route& a, const Route& b) {
+              return a.learned_from.value() < b.learned_from.value();
+            });
+  do {
+    const DecisionResult result = select_best(routes, DecisionConfig{});
+    EXPECT_EQ(routes[result.best_index].learned_from, Asn{2});
+    EXPECT_EQ(result.decided_by, DecisionStep::kAsPathLength);
+  } while (std::next_permutation(
+      routes.begin(), routes.end(), [](const Route& a, const Route& b) {
+        return a.learned_from.value() < b.learned_from.value();
+      }));
+}
+
 TEST(Decision, ToStringCoversAllSteps) {
   for (const DecisionStep step :
        {DecisionStep::kOnlyRoute, DecisionStep::kLocalPref,

@@ -2,12 +2,14 @@
 // per-prefix stance overrides, and week variation.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/classifier.h"
 #include "core/experiment.h"
 #include "probing/seeds.h"
+#include "runtime/thread_pool.h"
 #include "topology/ecosystem.h"
 
 namespace re::core {
@@ -143,6 +145,68 @@ TEST(ExperimentVariants, StanceOverridesCreateAsCategoryOverlap) {
   const std::size_t without_overlap = overlap_count(without);
   EXPECT_GT(with_overlap, without_overlap);
   EXPECT_GT(with_overlap, 3u);
+}
+
+TEST(ExperimentVariants, MemberMissingFromDirectoryIsSkipped) {
+  // An AS can appear in the member list (observed in BGP) without a
+  // directory record (registry gap). Forcing every member through both
+  // directory lookups — the week-variation draw and the outage-plant scan
+  // — must skip the gap instead of dereferencing a null record.
+  SmallWorld world = SmallWorld::make();
+  const net::Asn missing = world.ecosystem.members().front();
+  ASSERT_TRUE(world.ecosystem.directory().erase(missing));
+  ASSERT_EQ(world.ecosystem.directory().find(missing), nullptr);
+
+  ExperimentConfig config;
+  config.seed = 502;
+  config.p_week_variation = 1.0;   // line up a lookup for every member
+  config.auto_plant_outages = true;  // and the outage-plant scan too
+  const ExperimentResult result = world.run(config);
+  EXPECT_EQ(result.observations.size(), world.selection.seeds.size());
+}
+
+TEST(ExperimentVariants, ParallelProbingIsBitIdenticalToSerial) {
+  // The tentpole contract: an experiment probed through the thread pool
+  // must produce exactly the observations, classifications, and Table 1 of
+  // the serial run for the same seed, for any thread count.
+  const SmallWorld world = SmallWorld::make();
+  ExperimentConfig config;
+  config.seed = 502;
+
+  const ExperimentResult serial =
+      ExperimentController(world.ecosystem, world.selection.seeds, config)
+          .run();
+
+  auto fingerprint = [](const ExperimentResult& result) {
+    std::string out;
+    for (const PrefixObservation& obs : result.observations) {
+      out += obs.prefix.to_string() + "|";
+      for (const auto& round : obs.rounds) {
+        out += std::to_string(round.response_count()) + ",";
+        out += std::to_string(round.packet_mismatches) + ",";
+        for (const auto& outcome : round.outcomes) {
+          out += outcome.responded ? std::to_string(outcome.vlan_id) : "x";
+          out += ".";
+        }
+        out += ";";
+      }
+      out += "\n";
+    }
+    for (const PrefixInference& p : classify_experiment(result)) {
+      out += to_string(p.inference) + "\n";
+    }
+    return out;
+  };
+  const std::string reference = fingerprint(serial);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    runtime::ThreadPool pool(threads);
+    const ExperimentResult parallel =
+        ExperimentController(world.ecosystem, world.selection.seeds, config,
+                             &pool)
+            .run();
+    EXPECT_EQ(fingerprint(parallel), reference) << threads << " threads";
+  }
 }
 
 TEST(ExperimentVariants, FlakyProbabilityControlsLossExclusions) {

@@ -134,6 +134,49 @@ TEST(BgpNetwork, FailAndRestoreSession) {
   EXPECT_EQ(edge->best(kPrefix)->learned_from, used);
 }
 
+TEST(BgpNetwork, FailedSessionDropsInFlightMessages) {
+  // The failure must sever the session immediately: an announcement queued
+  // on the edge before the failure never reaches the far end.
+  BgpNetwork network(1);
+  network.connect_transit(Asn{2}, Asn{1});
+  network.announce(Asn{1}, kPrefix);  // update to 2 now in flight
+  network.fail_session(Asn{2}, Asn{1}, kPrefix);
+  network.run_to_convergence();
+  EXPECT_EQ(network.speaker(Asn{2})->best(kPrefix), nullptr);
+
+  // The session stays down for later export runs too: re-announcing while
+  // failed must not leak across.
+  network.withdraw(Asn{1}, kPrefix);
+  network.run_to_convergence();
+  network.announce(Asn{1}, kPrefix);
+  network.run_to_convergence();
+  EXPECT_EQ(network.speaker(Asn{2})->best(kPrefix), nullptr);
+
+  network.restore_session(Asn{2}, Asn{1}, kPrefix);
+  network.run_to_convergence();
+  EXPECT_NE(network.speaker(Asn{2})->best(kPrefix), nullptr);
+}
+
+TEST(BgpNetwork, NoUpdateCrossesFailedSession) {
+  DiamondFixture f;
+  f.network.announce(Asn{1}, kPrefix);
+  f.network.run_to_convergence();
+  Speaker* edge = f.network.speaker(Asn{3});
+  const Asn used = edge->best(kPrefix)->learned_from;
+  const Asn other = used == Asn{2} ? Asn{4} : Asn{2};
+
+  f.network.fail_session(Asn{3}, used, kPrefix);
+  f.network.run_to_convergence();
+
+  // A routing change upstream triggers fresh exports everywhere; none may
+  // cross the failed edge, so AS 3 keeps exactly one candidate.
+  f.network.set_origin_prepend(Asn{1}, kPrefix, 2);
+  f.network.run_to_convergence();
+  const std::vector<Route> candidates = edge->candidates(kPrefix);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front().learned_from, other);
+}
+
 TEST(BgpNetwork, CollectorRecordsAnnounceAndWithdraw) {
   DiamondFixture f;
   f.network.add_collector_peer(Asn{3});
