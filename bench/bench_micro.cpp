@@ -18,6 +18,7 @@ namespace {
 using namespace re;
 
 std::vector<bgp::Route> make_candidates(std::size_t n) {
+  static bgp::PathTable table;
   net::Rng rng(7);
   std::vector<bgp::Route> routes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -28,7 +29,7 @@ std::vector<bgp::Route> make_candidates(std::size_t n) {
     for (std::size_t j = 0; j < len; ++j) {
       asns.push_back(net::Asn{static_cast<std::uint32_t>(rng.below(70000))});
     }
-    r.path = bgp::AsPath(asns);
+    r.set_path(table, table.intern(bgp::AsPath(asns)));
     r.learned_from = net::Asn{static_cast<std::uint32_t>(1000 + i)};
     r.neighbor_router_id = static_cast<std::uint32_t>(rng.next());
     routes.push_back(std::move(r));
@@ -55,8 +56,9 @@ void BM_SpeakerReceive(benchmark::State& state) {
   speaker.add_session(session);
   bgp::UpdateMessage a, b;
   a.prefix = b.prefix = prefix;
-  a.path = bgp::AsPath{net::Asn{1}, net::Asn{9}};
-  b.path = bgp::AsPath{net::Asn{1}, net::Asn{9}, net::Asn{9}};
+  a.path = speaker.paths().intern(bgp::AsPath{net::Asn{1}, net::Asn{9}});
+  b.path =
+      speaker.paths().intern(bgp::AsPath{net::Asn{1}, net::Asn{9}, net::Asn{9}});
   net::SimTime now = 0;
   for (auto _ : state) {
     speaker.receive(net::Asn{1}, a, ++now);
@@ -215,12 +217,9 @@ void BM_UpdateLogEncode(benchmark::State& state) {
   bgp::UpdateLog log;
   net::Rng rng(3);
   for (int i = 0; i < state.range(0); ++i) {
-    bgp::CollectorUpdate u;
-    u.time = i;
-    u.peer = net::Asn{static_cast<std::uint32_t>(1 + rng.below(70000))};
-    u.prefix = *net::Prefix::parse("163.253.63.0/24");
-    u.path = bgp::AsPath{u.peer, net::Asn{3356}, net::Asn{396955}};
-    log.record(std::move(u));
+    const net::Asn peer{static_cast<std::uint32_t>(1 + rng.below(70000))};
+    log.record(i, peer, *net::Prefix::parse("163.253.63.0/24"), false,
+               bgp::AsPath{peer, net::Asn{3356}, net::Asn{396955}});
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(io::encode_update_log(log));

@@ -1,0 +1,264 @@
+// Large-topology propagation stress bench.
+//
+// The reproduction benches finish in tens of milliseconds — far too small
+// to expose hot-path costs (per-message path copies, node-based hash maps)
+// or to let the parallel sweep engine pay for its dispatch. This bench
+// synthesizes a ~5K-AS ecosystem and sweeps hundreds of member prefixes
+// through announce / prepend-change / withdraw convergence cycles, the
+// same per-prefix loop the §3.3 experiment schedule drives, at a scale
+// where the propagation engine dominates.
+//
+// Scenarios (names get RE_BENCH_SUFFIX appended, so a pre-change build
+// can record "_baseline" rows into BENCH_results.json):
+//   * stress_sweep_serial   — RE_PROP_TRIALS independent trial sweeps, inline.
+//   * stress_sweep_parallel — same trials on the RE_THREADS thread pool.
+//     The bench fails (exit 1) if any trial fingerprint diverges from the
+//     serial pass: the determinism contract at stress scale.
+//   * loop_check_micro      — import-time loop-detection / path-replace
+//     micro-loop (the AsPath::contains fast-path satellite).
+//
+// Size knobs: RE_PROP_MEMBERS (default 4600 member ASes → ~5K total),
+// RE_PROP_PREFIXES (default 200), RE_PROP_TRIALS (default 2),
+// RE_PROP_LOOP_ITERS (default 400000).
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/timing.h"
+#include "bgp/network.h"
+#include "runtime/perf_counters.h"
+#include "runtime/rng_streams.h"
+#include "runtime/thread_pool.h"
+#include "topology/ecosystem.h"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+std::string suffixed(const char* base) {
+  std::string name(base);
+  if (const char* s = std::getenv("RE_BENCH_SUFFIX")) name += s;
+  return name;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct StressParams {
+  std::size_t members = 4600;
+  std::size_t prefixes = 200;
+  std::size_t trials = 2;
+  std::size_t loop_iters = 400000;
+};
+
+StressParams stress_params() {
+  StressParams p;
+  p.members = env_size("RE_PROP_MEMBERS", p.members);
+  p.prefixes = env_size("RE_PROP_PREFIXES", p.prefixes);
+  p.trials = env_size("RE_PROP_TRIALS", p.trials);
+  p.loop_iters = env_size("RE_PROP_LOOP_ITERS", p.loop_iters);
+  return p;
+}
+
+// One trial: wire the ecosystem into a fresh network, then sweep `count`
+// member prefixes through announce → converge → prepend change → converge
+// → withdraw → converge → clear, folding convergence stats and the
+// collector log into a fingerprint. Returns (fingerprint, messages).
+struct TrialResult {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t messages = 0;
+  re::runtime::PerfCounters perf;
+};
+
+TrialResult run_sweep(const re::topo::Ecosystem& eco, std::uint64_t seed,
+                      std::size_t count) {
+  using namespace re;
+  bgp::BgpNetwork network(seed);
+  eco.build_network(network);
+
+  TrialResult out;
+  std::uint64_t fp = 1469598103934665603ull;
+  std::size_t swept = 0;
+  for (const topo::PrefixRecord& rec : eco.prefixes()) {
+    if (swept == count) break;
+    if (rec.covered) continue;
+    ++swept;
+
+    network.announce(rec.origin, rec.prefix);
+    const bgp::ConvergenceStats announce = network.run_to_convergence();
+    network.set_origin_prepend(rec.origin, rec.prefix, 2);
+    const bgp::ConvergenceStats prepend = network.run_to_convergence();
+    network.withdraw(rec.origin, rec.prefix);
+    const bgp::ConvergenceStats withdraw = network.run_to_convergence();
+    if (bgp::Speaker* origin = network.speaker(rec.origin)) {
+      origin->export_policy().default_prepend = 0;
+    }
+
+    for (const bgp::ConvergenceStats& stats :
+         {announce, prepend, withdraw}) {
+      out.messages += stats.messages_delivered;
+      out.perf += stats.perf;
+      fp = fnv1a(fp, stats.messages_delivered);
+      fp = fnv1a(fp, stats.best_changes);
+      fp = fnv1a(fp, stats.converged_at);
+    }
+    network.clear_prefix(rec.prefix);
+  }
+
+  // Fold the public-view churn (timestamps, peers, full paths) so any
+  // reordering or path corruption flips the fingerprint.
+  for (const bgp::CollectorUpdate& u : network.update_log().updates()) {
+    fp = fnv1a(fp, u.time);
+    fp = fnv1a(fp, u.peer.value());
+    fp = fnv1a(fp, u.withdraw ? 1 : 0);
+    for (const net::Asn asn : network.update_log().path_span(u)) {
+      fp = fnv1a(fp, asn.value());
+    }
+  }
+  out.fingerprint = fp;
+  return out;
+}
+
+// Import-time micro-loop: the receiving speaker alternates between two
+// long announcement paths (each install replaces the previous route) and
+// every third update carries a looping path it must discard. Loop
+// detection and path replacement are exactly the per-import operations
+// the interned-path fast path targets.
+std::uint64_t run_loop_check(std::size_t iters) {
+  using namespace re;
+  const net::Asn receiver{64500}, sender{64501};
+  bgp::BgpNetwork network(17);
+  network.connect_transit(receiver, sender);
+  bgp::Speaker* rcv = network.speaker(receiver);
+  const net::Prefix prefix = *net::Prefix::parse("198.51.100.0/24");
+
+  std::vector<net::Asn> spine;
+  spine.push_back(sender);
+  for (std::uint32_t i = 0; i < 38; ++i) spine.push_back(net::Asn{65000 + i});
+  const bgp::PathId path_a = network.paths().intern(bgp::AsPath(spine));
+  std::vector<net::Asn> alt = spine;
+  alt.push_back(net::Asn{65100});
+  const bgp::PathId path_b = network.paths().intern(bgp::AsPath(alt));
+  std::vector<net::Asn> looped = spine;
+  looped.insert(looped.begin() + 20, receiver);
+  const bgp::PathId path_loop = network.paths().intern(bgp::AsPath(looped));
+
+  bgp::UpdateMessage update;
+  update.prefix = prefix;
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    update.path = (i % 3 == 2) ? path_loop : (i % 2 == 0 ? path_a : path_b);
+    rcv->receive(sender, update, static_cast<net::SimTime>(i));
+    if (const bgp::Route* best = rcv->best(prefix)) {
+      fp = fnv1a(fp, best->path_length);
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main() {
+  using namespace re;
+  bench::BenchTimer timer("bench_propagation");
+  const StressParams params = stress_params();
+
+  topo::EcosystemParams eco_params;
+  eco_params.seed = 4242;
+  eco_params.member_count = static_cast<int>(params.members);
+  eco_params.target_prefixes = static_cast<int>(params.members * 2);
+  eco_params.covered_prefixes = static_cast<int>(params.members / 20);
+  const topo::Ecosystem eco = topo::Ecosystem::generate(eco_params);
+  std::printf("[stress] ases=%zu prefixes=%zu sweep=%zu trials=%zu\n",
+              eco.directory().size(), eco.prefixes().size(), params.prefixes,
+              params.trials);
+
+  const std::uint64_t master = 99991;
+  auto trial_seed = [master](std::size_t trial) {
+    return runtime::derive_stream_seed(master, trial);
+  };
+
+  // ---- serial pass -------------------------------------------------------
+  std::vector<TrialResult> serial(params.trials);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < params.trials; ++t) {
+    serial[t] = run_sweep(eco, trial_seed(t), params.prefixes);
+  }
+  const double serial_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serial_start)
+          .count();
+  timer.record(suffixed("stress_sweep_serial"), serial_wall, 1);
+
+  std::uint64_t total_messages = 0;
+  for (const TrialResult& r : serial) total_messages += r.messages;
+  std::printf("[stress] serial: %.3fs, %llu messages (%.2fM msg/s)\n",
+              serial_wall, static_cast<unsigned long long>(total_messages),
+              serial_wall > 0
+                  ? static_cast<double>(total_messages) / serial_wall / 1e6
+                  : 0.0);
+  runtime::PerfCounters perf;
+  for (const TrialResult& r : serial) perf += r.perf;
+  std::printf("[stress] perf: %s\n", perf.summary().c_str());
+
+  // ---- parallel pass -----------------------------------------------------
+  runtime::ThreadPool pool;
+  std::vector<TrialResult> parallel(params.trials);
+  const auto parallel_start = std::chrono::steady_clock::now();
+  pool.parallel_for(params.trials, [&](std::size_t t) {
+    parallel[t] = run_sweep(eco, trial_seed(t), params.prefixes);
+  });
+  const double parallel_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    parallel_start)
+          .count();
+  timer.record(suffixed("stress_sweep_parallel"), parallel_wall,
+               pool.thread_count());
+  std::printf("[stress] parallel: %.3fs on %zu threads (speedup %.2fx)\n",
+              parallel_wall, pool.thread_count(),
+              parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
+
+  for (std::size_t t = 0; t < params.trials; ++t) {
+    if (serial[t].fingerprint != parallel[t].fingerprint) {
+      std::printf("FAIL: trial %zu fingerprint diverged serial=%016llx "
+                  "parallel=%016llx\n",
+                  t, static_cast<unsigned long long>(serial[t].fingerprint),
+                  static_cast<unsigned long long>(parallel[t].fingerprint));
+      return 1;
+    }
+  }
+  std::printf("[stress] determinism: %zu trials bit-identical serial vs "
+              "parallel\n",
+              params.trials);
+
+  // ---- loop-check micro --------------------------------------------------
+  const auto micro_start = std::chrono::steady_clock::now();
+  const std::uint64_t micro_fp = run_loop_check(params.loop_iters);
+  const double micro_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    micro_start)
+          .count();
+  timer.record(suffixed("loop_check_micro"), micro_wall, 1);
+  std::printf("[micro] loop_check: %zu imports in %.3fs (%.2fM/s, fp %016llx)\n",
+              params.loop_iters, micro_wall,
+              micro_wall > 0
+                  ? static_cast<double>(params.loop_iters) / micro_wall / 1e6
+                  : 0.0,
+              static_cast<unsigned long long>(micro_fp));
+
+  std::printf("PROPAGATION OK\n");
+  return 0;
+}

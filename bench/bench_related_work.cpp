@@ -65,7 +65,7 @@ int main() {
     for (const net::Asn peer : eco.collector_peers()) {
       if (const bgp::Route* best =
               network.speaker(peer)->best(prefixes[0]->prefix)) {
-        observed.push_back(best->path.prepended(peer, 1));
+        observed.push_back(network.paths().path(best->path).prepended(peer, 1));
       }
     }
     network.clear_prefix(prefixes[0]->prefix);

@@ -5,6 +5,7 @@
 // once serially and once on the thread pool; the bench fails if the two
 // passes disagree anywhere (the determinism contract of src/runtime/).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -98,26 +99,36 @@ int main() {
   std::printf("multi-seed study: %zu trials, master seed %llu, %zu threads\n",
               trials, static_cast<unsigned long long>(master), threads);
 
+  auto wall = [](auto&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
   std::vector<core::Table1> serial(trials);
-  timer.timed(
-      "multi_seed_serial",
-      [&] {
-        for (std::size_t trial = 0; trial < trials; ++trial) {
-          serial[trial] = run_trial(world, master, trial);
-        }
-      },
-      1);
+  const double serial_seconds = wall([&] {
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      serial[trial] = run_trial(world, master, trial);
+    }
+  });
+  timer.record("multi_seed_serial", serial_seconds, 1);
 
   std::vector<core::Table1> parallel(trials);
   runtime::ThreadPool pool(threads);
-  timer.timed(
-      "multi_seed_parallel",
-      [&] {
-        pool.parallel_for(trials, [&](std::size_t trial) {
-          parallel[trial] = run_trial(world, master, trial);
-        });
-      },
-      pool.thread_count());
+  const double parallel_seconds = wall([&] {
+    pool.parallel_for(trials, [&](std::size_t trial) {
+      parallel[trial] = run_trial(world, master, trial);
+    });
+  });
+  // Record the pool's actual worker count, not the requested one — a
+  // 1-core container clamps the pool and the row must say so.
+  timer.record("multi_seed_parallel", parallel_seconds, pool.thread_count());
+  std::printf(
+      "serial %.3fs, parallel %.3fs on %zu worker(s): %.2fx speedup\n",
+      serial_seconds, parallel_seconds, pool.thread_count(),
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
 
   for (std::size_t trial = 0; trial < trials; ++trial) {
     if (fingerprint(serial[trial]) != fingerprint(parallel[trial])) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "io/json.h"
+#include "runtime/perf_counters.h"
 
 namespace re::bench {
 
@@ -24,6 +25,9 @@ struct TimingRow {
   std::string scenario;
   double wall_seconds = 0.0;
   std::size_t threads = 1;
+  // Process peak RSS (KiB) observed when the row was recorded, so memory
+  // wins show up in the trajectory alongside wall-clock. 0 = unknown.
+  std::size_t peak_rss_kb = 0;
 };
 
 inline std::string bench_results_path() {
@@ -43,7 +47,8 @@ class BenchTimer {
 
   void record(const std::string& scenario, double wall_seconds,
               std::size_t threads = 1) {
-    rows_.push_back(TimingRow{bench_, scenario, wall_seconds, threads});
+    rows_.push_back(TimingRow{bench_, scenario, wall_seconds, threads,
+                              runtime::peak_rss_bytes() / 1024});
   }
 
   // Times fn() and records the scenario; returns fn's result.
@@ -87,6 +92,7 @@ class BenchTimer {
       writer.field("scenario", row.scenario);
       writer.field("wall_seconds", row.wall_seconds);
       writer.field("threads", std::uint64_t{row.threads});
+      writer.field("peak_rss_kb", std::uint64_t{row.peak_rss_kb});
       writer.end_object();
     }
     writer.end_array();
@@ -138,6 +144,9 @@ class BenchTimer {
       }
       if (const auto* v = entry.find("threads"); v && v->is_number()) {
         row.threads = static_cast<std::size_t>(v->as_number());
+      }
+      if (const auto* v = entry.find("peak_rss_kb"); v && v->is_number()) {
+        row.peak_rss_kb = static_cast<std::size_t>(v->as_number());
       }
       if (!row.bench.empty() && !row.scenario.empty()) {
         rows.push_back(std::move(row));

@@ -59,7 +59,7 @@ int main() {
     for (const bgp::Route& r : niks->candidates(meas)) {
       std::printf("  candidate via %-8s localpref %3u  path [%s]\n",
                   r.learned_from.to_string().c_str(), r.local_pref,
-                  r.path.to_string().c_str());
+                  network.paths().to_string(r.path).c_str());
     }
     const bgp::Route* best = network.speaker(net::asn::kNiks)->best(meas);
     std::printf("  -> NIKS selects via %s (%s route), decided by %s\n\n",

@@ -14,8 +14,8 @@ int compare_step(const Route& a, const Route& b, const DecisionConfig& config,
       return 0;
     case DecisionStep::kAsPathLength:
       if (!config.use_as_path_length) return 0;
-      if (a.path.length() != b.path.length()) {
-        return a.path.length() < b.path.length() ? -1 : 1;
+      if (a.path_length != b.path_length) {
+        return a.path_length < b.path_length ? -1 : 1;
       }
       return 0;
     case DecisionStep::kOrigin:
@@ -25,7 +25,7 @@ int compare_step(const Route& a, const Route& b, const DecisionConfig& config,
       // MED is comparable only between routes learned from the same
       // neighbor AS (the first AS in the received path).
       if (!config.use_med) return 0;
-      if (a.path.first() != b.path.first()) return 0;
+      if (a.path_first != b.path_first) return 0;
       if (a.med != b.med) return a.med < b.med ? -1 : 1;
       return 0;
     case DecisionStep::kEbgp:

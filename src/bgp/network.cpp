@@ -1,7 +1,9 @@
 #include "bgp/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <span>
 
 namespace re::bgp {
 
@@ -10,18 +12,8 @@ Speaker& BgpNetwork::add_speaker(net::Asn asn) {
     return *speakers_[it->second];
   }
   index_[asn] = speakers_.size();
-  speakers_.push_back(std::make_unique<Speaker>(asn));
+  speakers_.push_back(std::make_unique<Speaker>(asn, &paths_));
   return *speakers_.back();
-}
-
-Speaker* BgpNetwork::speaker(net::Asn asn) {
-  const auto it = index_.find(asn);
-  return it == index_.end() ? nullptr : speakers_[it->second].get();
-}
-
-const Speaker* BgpNetwork::speaker(net::Asn asn) const {
-  const auto it = index_.find(asn);
-  return it == index_.end() ? nullptr : speakers_[it->second].get();
 }
 
 std::vector<net::Asn> BgpNetwork::asns() const {
@@ -94,34 +86,42 @@ void BgpNetwork::enqueue(net::Asn from, net::Asn to, UpdateMessage update) {
   msg.seq = next_seq_++;
   msg.from = from;
   msg.to = to;
-  msg.update = std::move(update);
-  queue_.push(std::move(msg));
+  msg.update = update;
+  queue_.push(msg);
 }
 
 void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix) {
+  // Resolve the per-prefix export inputs once; the loop below asks a
+  // per-session question per neighbor.
+  const Speaker::ExportProbe probe = from.export_probe(prefix);
   for (const Session& session : from.sessions()) {
     // A failed session carries nothing — not even a withdrawal. The
     // remote end already invalidated the route when the failure was
     // injected.
     if (from.session_failed(session.neighbor, prefix)) continue;
     const EdgePrefixKey key{from.asn(), session.neighbor, prefix};
-    auto announcement = from.eligible_announcement(session, prefix);
+    auto announcement = probe.announcement(session);
     auto it = sent_.find(key);
     if (announcement) {
-      if (it != sent_.end() && !it->second.withdrawn &&
-          it->second.path == announcement->path &&
-          it->second.origin == announcement->origin) {
-        continue;  // nothing new to say
+      if (it != sent_.end()) {
+        if (!it->second.withdrawn && it->second.path == announcement->path &&
+            it->second.origin == announcement->origin) {
+          continue;  // nothing new to say
+        }
+        // Reuse the slot located by find() instead of probing again.
+        it->second = SentState{false, announcement->path, announcement->origin};
+      } else {
+        sent_.insert_or_assign(
+            key, SentState{false, announcement->path, announcement->origin});
       }
-      sent_[key] = SentState{false, announcement->path, announcement->origin};
-      enqueue(from.asn(), session.neighbor, *std::move(announcement));
+      enqueue(from.asn(), session.neighbor, *announcement);
     } else {
       if (it == sent_.end() || it->second.withdrawn) continue;
       it->second = SentState{};
       UpdateMessage withdraw;
       withdraw.prefix = prefix;
       withdraw.withdraw = true;
-      enqueue(from.asn(), session.neighbor, std::move(withdraw));
+      enqueue(from.asn(), session.neighbor, withdraw);
     }
   }
   if (collector_peers_.count(from.asn()) != 0) {
@@ -139,17 +139,20 @@ void BgpNetwork::record_collector(net::Asn peer, const net::Prefix& prefix) {
   const EdgePrefixKey key{peer, net::Asn{}, prefix};
   auto it = collector_sent_.find(key);
   if (view != nullptr) {
-    const AsPath exported = view->path.prepended(peer, 1);
-    if (it != collector_sent_.end() && !it->second.withdrawn &&
-        it->second.path == exported) {
-      return;
+    const PathId exported = paths_.prepended(view->path, peer, 1);
+    if (it != collector_sent_.end()) {
+      if (!it->second.withdrawn && it->second.path == exported) return;
+      it->second = SentState{false, exported, view->origin};
+    } else {
+      collector_sent_.insert_or_assign(
+          key, SentState{false, exported, view->origin});
     }
-    collector_sent_[key] = SentState{false, exported, view->origin};
-    log_.record(CollectorUpdate{clock_.now(), peer, prefix, false, exported});
+    log_.record(clock_.now(), peer, prefix, false, paths_.span(exported));
   } else {
     if (it == collector_sent_.end() || it->second.withdrawn) return;
     it->second = SentState{};
-    log_.record(CollectorUpdate{clock_.now(), peer, prefix, true, AsPath{}});
+    log_.record(clock_.now(), peer, prefix, true,
+                std::span<const net::Asn>{});
   }
 }
 
@@ -239,6 +242,7 @@ ConvergenceStats BgpNetwork::run_to_convergence() {
 }
 
 ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
+  const auto wall_start = std::chrono::steady_clock::now();
   ConvergenceStats stats;
   while (!queue_.empty() && queue_.top().deliver_at <= deadline) {
     PendingMessage msg = queue_.top();
@@ -258,6 +262,29 @@ ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
     }
   }
   stats.converged_at = clock_.now();
+
+  stats.perf.messages_delivered = stats.messages_delivered;
+  stats.perf.interned_paths = paths_.size();
+  stats.perf.arena_bytes = paths_.arena_bytes();
+  // Probe-length deltas over the network-level flat maps for this run.
+  std::uint64_t lookups = 0, probes = 0;
+  const auto add = [&](const auto& s) {
+    lookups += s.lookups;
+    probes += s.probes;
+  };
+  add(index_.probe_stats());
+  add(edge_last_delivery_.probe_stats());
+  add(sent_.probe_stats());
+  add(collector_sent_.probe_stats());
+  add(collector_peers_.probe_stats());
+  stats.perf.map_lookups = lookups - reported_lookups_;
+  stats.perf.map_probes = probes - reported_probes_;
+  reported_lookups_ = lookups;
+  reported_probes_ = probes;
+  stats.perf.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return stats;
 }
 
@@ -274,9 +301,9 @@ void BgpNetwork::add_collector_peer(net::Asn peer) {
 
 void BgpNetwork::clear_prefix(const net::Prefix& prefix) {
   for (const auto& s : speakers_) s->clear_prefix(prefix);
-  std::erase_if(sent_, [&](const auto& kv) { return kv.first.prefix == prefix; });
-  std::erase_if(collector_sent_,
-                [&](const auto& kv) { return kv.first.prefix == prefix; });
+  sent_.erase_if([&](const auto& kv) { return kv.first.prefix == prefix; });
+  collector_sent_.erase_if(
+      [&](const auto& kv) { return kv.first.prefix == prefix; });
   // The queue is expected to be drained before clearing; any stragglers
   // for this prefix are dropped on delivery because state was erased...
   // but dropping them here keeps semantics crisp.

@@ -5,6 +5,12 @@
 // realistic transient path exploration ("path hunting") and therefore a
 // realistic update-churn timeline (Figure 3). A run is a pure function of
 // the construction seed.
+//
+// The network owns the PathTable all its speakers intern into: queued
+// messages and edge suppression state carry 32-bit PathIds, and the hot
+// maps (speaker index, per-edge FIFO clamps, duplicate-suppression state)
+// are open-addressing FlatMaps. One table per network also keeps parallel
+// sweeps share-nothing: two networks never touch the same arena.
 #pragma once
 
 #include <cstdint>
@@ -12,14 +18,15 @@
 #include <optional>
 #include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "bgp/path_table.h"
 #include "bgp/speaker.h"
 #include "bgp/update_log.h"
 #include "netbase/clock.h"
+#include "netbase/flat_map.h"
 #include "netbase/rng.h"
+#include "runtime/perf_counters.h"
 
 namespace re::bgp {
 
@@ -27,6 +34,9 @@ struct ConvergenceStats {
   std::size_t messages_delivered = 0;
   std::size_t best_changes = 0;
   net::SimTime converged_at = 0;
+  // Hot-path counters for this run (gauges like interned_paths/arena_bytes
+  // are whole-network snapshots; counters are deltas for this run).
+  runtime::PerfCounters perf;
 };
 
 class BgpNetwork {
@@ -36,11 +46,21 @@ class BgpNetwork {
   net::SimClock& clock() noexcept { return clock_; }
   const net::SimClock& clock() const noexcept { return clock_; }
 
+  // The path intern table shared by every speaker in this network.
+  PathTable& paths() noexcept { return paths_; }
+  const PathTable& paths() const noexcept { return paths_; }
+
   // --- Topology construction --------------------------------------------
 
   Speaker& add_speaker(net::Asn asn);
-  Speaker* speaker(net::Asn asn);
-  const Speaker* speaker(net::Asn asn) const;
+  Speaker* speaker(net::Asn asn) {
+    const auto it = index_.find(asn);
+    return it == index_.end() ? nullptr : speakers_[it->second].get();
+  }
+  const Speaker* speaker(net::Asn asn) const {
+    const auto it = index_.find(asn);
+    return it == index_.end() ? nullptr : speakers_[it->second].get();
+  }
   bool contains(net::Asn asn) const { return index_.count(asn) != 0; }
   std::vector<net::Asn> asns() const;
   std::size_t speaker_count() const noexcept { return speakers_.size(); }
@@ -90,7 +110,7 @@ class BgpNetwork {
 
   // Registers `peer` as a collector feed (RouteViews/RIS-style).
   void add_collector_peer(net::Asn peer);
-  const std::unordered_set<net::Asn>& collector_peers() const noexcept {
+  const net::FlatSet<net::Asn>& collector_peers() const noexcept {
     return collector_peers_;
   }
   UpdateLog& update_log() noexcept { return log_; }
@@ -108,7 +128,7 @@ class BgpNetwork {
     std::uint64_t seq = 0;
     net::Asn from;
     net::Asn to;
-    UpdateMessage update;
+    UpdateMessage update;  // path is a PathId — queuing copies no heap data
   };
   struct LaterFirst {
     bool operator()(const PendingMessage& a, const PendingMessage& b) const {
@@ -121,7 +141,7 @@ class BgpNetwork {
   // or withdrawal), to suppress duplicate updates.
   struct SentState {
     bool withdrawn = true;
-    AsPath path;
+    PathId path;
     Origin origin = Origin::kIgp;
   };
   struct EdgePrefixKey {
@@ -131,10 +151,15 @@ class BgpNetwork {
   };
   struct EdgePrefixKeyHash {
     std::size_t operator()(const EdgePrefixKey& k) const noexcept {
-      std::size_t h = std::hash<net::Asn>{}(k.from);
-      h = h * 1315423911u ^ std::hash<net::Asn>{}(k.to);
-      h = h * 1315423911u ^ std::hash<net::Prefix>{}(k.prefix);
-      return h;
+      // Two independently mixed halves: the edge pair and the prefix.
+      // (A multiply-xor chain over identity hashes clusters badly under
+      // power-of-two masking; full avalanche per half is cheap insurance.)
+      const std::uint64_t edge =
+          (std::uint64_t{k.from.value()} << 32) | k.to.value();
+      const std::uint64_t pfx =
+          (std::uint64_t{k.prefix.network().value()} << 8) | k.prefix.length();
+      return static_cast<std::size_t>(
+          net::mix64(net::mix64(edge) ^ pfx));
     }
   };
 
@@ -155,21 +180,25 @@ class BgpNetwork {
 
   net::SimClock clock_;
   net::Rng rng_;
+  PathTable paths_;  // must outlive speakers_ (they hold a pointer to it)
   std::vector<std::unique_ptr<Speaker>> speakers_;  // stable addresses
-  std::unordered_map<net::Asn, std::size_t> index_;
+  net::FlatMap<net::Asn, std::size_t> index_;
   std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
       queue_;
   std::uint64_t next_seq_ = 0;
   // BGP sessions are TCP streams: updates on one session must never
   // overtake each other. Tracks the latest scheduled delivery per directed
   // edge so later messages are clamped behind earlier ones.
-  std::unordered_map<std::uint64_t, net::SimTime> edge_last_delivery_;
-  std::unordered_map<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
+  net::FlatMap<std::uint64_t, net::SimTime> edge_last_delivery_;
+  net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
 
-  std::unordered_set<net::Asn> collector_peers_;
-  std::unordered_map<EdgePrefixKey, SentState, EdgePrefixKeyHash>
-      collector_sent_;
+  net::FlatSet<net::Asn> collector_peers_;
+  net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> collector_sent_;
   UpdateLog log_;
+
+  // Snapshots for reporting per-run probe-stat deltas in ConvergenceStats.
+  std::uint64_t reported_lookups_ = 0;
+  std::uint64_t reported_probes_ = 0;
 };
 
 }  // namespace re::bgp

@@ -1,0 +1,128 @@
+// Hash-consed AS-path interning.
+//
+// Every UpdateMessage, queued PendingMessage, SentState and Adj-RIB-In
+// Route used to carry its own heap-allocated std::vector<Asn> copy of the
+// AS path, so the propagation hot loop was dominated by malloc/free and
+// memcpy rather than the decision process. A PathTable deduplicates path
+// contents into one contiguous arena and hands out dense 32-bit PathIds:
+// copying a route or queuing a message copies four bytes, path equality
+// is an id compare, and length/first/origin are O(1) table reads.
+//
+// PathId 0 is always the empty path. Ids are assigned in first-intern
+// order and are never invalidated — the lookup table rehashes, the
+// entries never move (id stability is what lets ids live inside queued
+// messages and RIB entries across arbitrary interleavings). A table is
+// owned by one BgpNetwork and shared by its speakers; ids from different
+// tables must never be mixed (same discipline as arena indices).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "netbase/asn.h"
+
+namespace re::bgp {
+
+// A handle to an interned AS path. Default-constructed = the empty path.
+class PathId {
+ public:
+  constexpr PathId() noexcept = default;
+  constexpr explicit PathId(std::uint32_t value) noexcept : value_(value) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool is_empty_path() const noexcept { return value_ == 0; }
+
+  friend constexpr auto operator<=>(PathId, PathId) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class PathTable {
+ public:
+  PathTable();
+
+  // Interns `asns`, returning the id of the canonical copy. O(len) hash +
+  // compare on hit; appends to the arena on miss.
+  PathId intern(std::span<const net::Asn> asns);
+  PathId intern(const AsPath& path) { return intern(path.asns()); }
+
+  // The id of `id`'s path with `asn` prepended `copies` times — the
+  // export-side prepend as an intern-on-miss table op (no AsPath
+  // temporaries; the candidate is staged in a reused scratch buffer).
+  PathId prepended(PathId id, net::Asn asn, std::size_t copies = 1);
+
+  // The interned contents. Valid until the next intern (arena growth may
+  // reallocate), so consume before interning again — same contract as
+  // std::vector data().
+  std::span<const net::Asn> span(PathId id) const noexcept {
+    const Entry& entry = entries_[id.value()];
+    return {arena_.data() + entry.offset, entry.length};
+  }
+
+  std::size_t length(PathId id) const noexcept {
+    return entries_[id.value()].length;
+  }
+  bool empty(PathId id) const noexcept { return length(id) == 0; }
+
+  // First element (the AS adjacent to the receiver) / last element (the
+  // origin AS); invalid Asn for the empty path.
+  net::Asn first(PathId id) const noexcept {
+    const auto asns = span(id);
+    return asns.empty() ? net::Asn{} : asns.front();
+  }
+  net::Asn origin(PathId id) const noexcept {
+    const auto asns = span(id);
+    return asns.empty() ? net::Asn{} : asns.back();
+  }
+
+  // Loop detection over the arena span — no temporaries, no indirection.
+  bool contains(PathId id, net::Asn asn) const noexcept;
+  std::size_t count(PathId id, net::Asn asn) const noexcept;
+  std::size_t unique_count(PathId id) const;
+
+  // Materializes an owning AsPath (for analyses and serialization; not
+  // for the hot path).
+  AsPath path(PathId id) const { return AsPath(to_vector(id)); }
+  std::string to_string(PathId id) const;
+
+  // Number of distinct interned paths (including the empty path).
+  std::size_t size() const noexcept { return entries_.size(); }
+  // Bytes backing the interned contents (arena capacity).
+  std::size_t arena_bytes() const noexcept {
+    return arena_.capacity() * sizeof(net::Asn) +
+           entries_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint64_t hash = 0;  // cached content hash (rehash without re-reading)
+  };
+
+  std::vector<net::Asn> to_vector(PathId id) const {
+    const auto asns = span(id);
+    return {asns.begin(), asns.end()};
+  }
+
+  static std::uint64_t hash_span(std::span<const net::Asn> asns) noexcept;
+
+  // Interns pre-hashed contents (the single insertion path).
+  PathId intern_hashed(std::span<const net::Asn> asns, std::uint64_t hash);
+  bool slot_matches(std::uint32_t entry_index, std::uint64_t hash,
+                    std::span<const net::Asn> asns) const noexcept;
+  void grow_slots();
+
+  std::vector<net::Asn> arena_;      // concatenated path contents
+  std::vector<Entry> entries_;       // PathId -> arena extent
+  std::vector<std::uint32_t> slots_; // open addressing: entry index + 1, 0 empty
+  std::vector<net::Asn> scratch_;    // staging buffer for prepended()
+};
+
+}  // namespace re::bgp

@@ -1,5 +1,7 @@
 #include "bgp/policy.h"
 
+#include <algorithm>
+
 namespace re::bgp {
 
 std::string to_string(Relationship r) {
@@ -68,11 +70,14 @@ std::uint32_t ExportPolicy::prepends_for(const Session& session) const {
   return extra;
 }
 
-bool ExportPolicy::path_allowed(net::Asn neighbor, const AsPath& path) const {
+bool ExportPolicy::path_allowed(net::Asn neighbor,
+                                std::span<const net::Asn> path) const {
   const auto it = neighbor_path_block.find(neighbor);
   if (it == neighbor_path_block.end()) return true;
   for (const net::Asn blocked : it->second) {
-    if (path.contains(blocked)) return false;
+    if (std::find(path.begin(), path.end(), blocked) != path.end()) {
+      return false;
+    }
   }
   return true;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "bgp/route.h"
@@ -117,8 +118,18 @@ struct ExportPolicy {
   // mandatory copy of the local ASN).
   std::uint32_t prepends_for(const Session& session) const;
 
-  // True if a route with `path` may be exported to `neighbor`.
-  bool path_allowed(net::Asn neighbor, const AsPath& path) const;
+  // True if a route with `path` may be exported to `neighbor`. The span
+  // form is the hot path (it reads the interned arena directly); the
+  // AsPath form is a convenience for analyses and tests.
+  bool path_allowed(net::Asn neighbor, std::span<const net::Asn> path) const;
+  bool path_allowed(net::Asn neighbor, const AsPath& path) const {
+    return path_allowed(neighbor, std::span<const net::Asn>(path.asns()));
+  }
+
+  // Fast pre-check: true when no per-neighbor path filter exists at all
+  // (the overwhelmingly common case), letting exporters skip the span
+  // materialization entirely.
+  bool has_path_filters() const noexcept { return !neighbor_path_block.empty(); }
 };
 
 // Gao-Rexford export eligibility, with the R&E peer-to-peer extension.

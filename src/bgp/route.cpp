@@ -2,9 +2,9 @@
 
 namespace re::bgp {
 
-std::string Route::to_string() const {
+std::string Route::to_string(const PathTable& table) const {
   std::string out = prefix.to_string();
-  out += " path [" + path.to_string() + "]";
+  out += " path [" + table.to_string(path) + "]";
   out += " lp " + std::to_string(local_pref);
   out += " from " + (learned_from.valid() ? learned_from.to_string() : "local");
   return out;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "bgp/as_path.h"
+#include "bgp/path_table.h"
 #include "netbase/clock.h"
 #include "netbase/prefix.h"
 
@@ -14,9 +15,16 @@ namespace re::bgp {
 enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
 
 // A route as installed in an Adj-RIB-In after import-policy processing.
+//
+// The AS path lives in the owning network's PathTable; the route carries
+// its 32-bit id plus the two path facts the decision process reads
+// (length and first hop) cached inline, so copying a route never touches
+// the heap and comparing routes never chases a pointer.
 struct Route {
   net::Prefix prefix;
-  AsPath path;
+  PathId path;  // interned; resolve via the owning PathTable
+  std::uint32_t path_length = 0;  // PathTable::length(path), cached
+  net::Asn path_first;            // PathTable::first(path), cached (MED rule)
   Origin origin = Origin::kIgp;
   std::uint32_t local_pref = 100;  // assigned by the receiver's import policy
   std::uint32_t med = 0;
@@ -52,15 +60,23 @@ struct Route {
   // reported a path to the measurement prefix" (§3.1).
   bool re_only = false;
 
-  std::string to_string() const;
+  // Sets path + cached path facts in one step.
+  void set_path(const PathTable& table, PathId id) {
+    path = id;
+    path_length = static_cast<std::uint32_t>(table.length(id));
+    path_first = table.first(id);
+  }
+
+  std::string to_string(const PathTable& table) const;
 };
 
 // An update message on the wire: either an announcement carrying path
-// attributes or a withdrawal of a prefix.
+// attributes or a withdrawal of a prefix. The path id refers to the
+// network's PathTable, so queuing or copying a message is a flat copy.
 struct UpdateMessage {
   net::Prefix prefix;
   bool withdraw = false;
-  AsPath path;       // as sent by the neighbor (receiver's import not applied)
+  PathId path;  // as sent by the neighbor (receiver's import not applied)
   Origin origin = Origin::kIgp;
   std::uint32_t med = 0;
   bool re_only = false;  // R&E-fabric-scoped announcement (see Route::re_only)

@@ -13,6 +13,7 @@ constexpr std::uint32_t kLocalRoutePref = 1000;
 // True when two routes are interchangeable from the point of view of
 // neighbors (same selection outcome and same export content). Route age
 // deliberately excluded: refreshing a route's age is not a visible change.
+// Paths are interned, so the comparison is one 32-bit id.
 bool same_route_content(const Route& a, const Route& b) {
   return a.learned_from == b.learned_from && a.path == b.path &&
          a.origin == b.origin && a.med == b.med &&
@@ -26,11 +27,6 @@ void Speaker::add_session(Session session) {
   sessions_.push_back(session);
 }
 
-const Session* Speaker::session_to(net::Asn neighbor) const {
-  const auto it = session_index_.find(neighbor);
-  return it == session_index_.end() ? nullptr : &sessions_[it->second];
-}
-
 void Speaker::set_session_failed(net::Asn neighbor, const net::Prefix& prefix,
                                  bool failed) {
   if (failed) {
@@ -41,12 +37,6 @@ void Speaker::set_session_failed(net::Asn neighbor, const net::Prefix& prefix,
   if (it == failed_.end()) return;
   it->second.erase(prefix);
   if (it->second.empty()) failed_.erase(it);
-}
-
-bool Speaker::session_failed(net::Asn neighbor,
-                             const net::Prefix& prefix) const {
-  const auto it = failed_.find(neighbor);
-  return it != failed_.end() && it->second.count(prefix) != 0;
 }
 
 bool Speaker::invalidate_neighbor_route(net::Asn neighbor,
@@ -84,7 +74,7 @@ Route Speaker::make_local_route(const net::Prefix& prefix,
   route.local_pref = kLocalRoutePref;
   route.ebgp = false;
   route.established_at = since;
-  return route;
+  return route;  // path defaults to the interned empty path (id 0)
 }
 
 bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
@@ -113,9 +103,9 @@ bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
   // earlier route from the same peer).
   const bool rov_invalid =
       rov_table_ != nullptr &&
-      rov_table_->validate_route(update.prefix, update.path) ==
+      rov_table_->validate(update.prefix, paths_->origin(update.path)) ==
           RovState::kInvalid;
-  if (update.path.contains(asn_) || !import_.accepts(*session) ||
+  if (paths_->contains(update.path, asn_) || !import_.accepts(*session) ||
       rov_invalid) {
     const auto it = state.in.find(neighbor);
     if (it == state.in.end()) return false;
@@ -125,7 +115,7 @@ bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
 
   Route route;
   route.prefix = update.prefix;
-  route.path = update.path;
+  route.set_path(*paths_, update.path);
   route.origin = update.origin;
   route.med = update.med;
   route.learned_from = neighbor;
@@ -145,7 +135,11 @@ bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
     state.damping[neighbor].record(damping_.attribute_change_penalty, now,
                                    damping_);
   }
-  state.in[neighbor] = std::move(route);
+  if (it != state.in.end()) {
+    it->second = route;  // reuse the slot located by find() above
+  } else {
+    state.in[neighbor] = route;
+  }
   return run_decision(state, now);
 }
 
@@ -180,7 +174,8 @@ bool Speaker::reevaluate(const net::Prefix& prefix, net::SimTime now) {
 }
 
 bool Speaker::run_decision(PrefixState& state, net::SimTime now) {
-  std::vector<Route> candidates;
+  std::vector<Route>& candidates = candidate_scratch_;
+  candidates.clear();
   candidates.reserve(state.in.size() + 1);
   if (state.local) {
     Route local = make_local_route(state.prefix, state.local_since);
@@ -268,20 +263,30 @@ std::vector<Route> Speaker::all_candidates(const net::Prefix& prefix) const {
   return candidates(prefix);
 }
 
-std::optional<UpdateMessage> Speaker::eligible_announcement(
-    const Session& to, const net::Prefix& prefix) const {
-  if (session_failed(to.neighbor, prefix)) return std::nullopt;
+Speaker::ExportProbe Speaker::export_probe(const net::Prefix& prefix) const {
+  ExportProbe probe;
+  probe.speaker_ = this;
   const auto it = rib_.find(prefix);
-  if (it == rib_.end() || !it->second.best) return std::nullopt;
+  if (it == rib_.end() || !it->second.best) return probe;
+  probe.state_ = &it->second;
   const Route& best = *it->second.best;
+  probe.learned_on_ =
+      best.learned_from.valid() ? session_to(best.learned_from) : nullptr;
+  probe.valid_ = !best.learned_from.valid() || probe.learned_on_ != nullptr;
+  return probe;
+}
+
+std::optional<UpdateMessage> Speaker::ExportProbe::announcement(
+    const Session& to) const {
+  if (state_ == nullptr || !valid_) return std::nullopt;
+  const Route& best = *state_->best;
+  const Speaker& s = *speaker_;
+  if (s.session_failed(to.neighbor, state_->prefix)) return std::nullopt;
 
   // Split horizon: never echo a route back to the neighbor it came from.
   if (best.learned_from == to.neighbor) return std::nullopt;
 
-  const Session* learned_on =
-      best.learned_from.valid() ? session_to(best.learned_from) : nullptr;
-  if (best.learned_from.valid() && learned_on == nullptr) return std::nullopt;
-  if (!export_allowed(learned_on, to, re_transit_between_peers_)) {
+  if (!export_allowed(learned_on_, to, s.re_transit_between_peers_)) {
     return std::nullopt;
   }
 
@@ -290,21 +295,34 @@ std::optional<UpdateMessage> Speaker::eligible_announcement(
 
   // Origin-side announcement scoping (e.g. prefixes announced to R&E only).
   if (!best.learned_from.valid()) {
-    const OriginationOptions& opt = it->second.origination;
+    const OriginationOptions& opt = state_->origination;
     if (to.re_edge ? !opt.to_re_sessions : !opt.to_commodity_sessions) {
       return std::nullopt;
     }
   }
 
   UpdateMessage msg;
-  msg.prefix = prefix;
+  msg.prefix = state_->prefix;
   msg.withdraw = false;
   msg.origin = best.origin;
   msg.med = 0;
   msg.re_only = best.re_only;
-  msg.path = best.path.prepended(asn_, 1 + export_.prepends_for(to));
-  if (!export_.path_allowed(to.neighbor, msg.path)) return std::nullopt;
+  const std::size_t copies = 1 + s.export_.prepends_for(to);
+  if (copies != cached_copies_) {
+    cached_path_ = s.paths_->prepended(best.path, s.asn_, copies);
+    cached_copies_ = copies;
+  }
+  msg.path = cached_path_;
+  if (s.export_.has_path_filters() &&
+      !s.export_.path_allowed(to.neighbor, s.paths_->span(msg.path))) {
+    return std::nullopt;
+  }
   return msg;
+}
+
+std::optional<UpdateMessage> Speaker::eligible_announcement(
+    const Session& to, const net::Prefix& prefix) const {
+  return export_probe(prefix).announcement(to);
 }
 
 std::optional<UpdateMessage> Speaker::export_to(const Session& to,
@@ -330,6 +348,21 @@ std::vector<net::Prefix> Speaker::known_prefixes() const {
   for (const auto& [prefix, state] : rib_) out.push_back(prefix);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void Speaker::add_probe_stats(std::uint64_t& lookups,
+                              std::uint64_t& probes) const {
+  const auto add = [&](const auto& stats) {
+    lookups += stats.lookups;
+    probes += stats.probes;
+  };
+  add(rib_.probe_stats());
+  add(session_index_.probe_stats());
+  add(failed_.probe_stats());
+  for (const auto& [prefix, state] : rib_) {
+    add(state.in.probe_stats());
+    add(state.damping.probe_stats());
+  }
 }
 
 }  // namespace re::bgp

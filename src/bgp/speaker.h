@@ -5,23 +5,29 @@
 // the granularity the paper reasons at (§3.4 notes policies can be finer
 // than per-session; the dataplane module layers the interconnect-router
 // confound on top).
+//
+// AS paths are hash-consed: routes and update messages carry PathIds into
+// the PathTable shared across the owning network (see path_table.h), and
+// the RIB maps are open-addressing FlatMaps, so the receive → decide →
+// export loop runs without heap allocation in the steady state.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "bgp/damping.h"
 #include "bgp/decision.h"
+#include "bgp/path_table.h"
 #include "bgp/policy.h"
 #include "bgp/route.h"
 #include "bgp/rpki.h"
 #include "netbase/asn.h"
 #include "netbase/clock.h"
+#include "netbase/flat_map.h"
 #include "netbase/prefix.h"
 
 namespace re::bgp {
@@ -35,10 +41,24 @@ struct OriginationOptions {
 };
 
 class Speaker {
+  struct PrefixState;  // defined below; ExportProbe holds a pointer
+
  public:
-  explicit Speaker(net::Asn asn) : asn_(asn) {}
+  // `paths` is the table update-message/route path ids refer to — one per
+  // network, injected by BgpNetwork::add_speaker. A standalone speaker
+  // (tests, micro-benches) passes nullptr and owns a private table.
+  explicit Speaker(net::Asn asn, PathTable* paths = nullptr)
+      : asn_(asn), paths_(paths) {
+    if (paths_ == nullptr) {
+      owned_paths_ = std::make_unique<PathTable>();
+      paths_ = owned_paths_.get();
+    }
+  }
 
   net::Asn asn() const noexcept { return asn_; }
+
+  PathTable& paths() noexcept { return *paths_; }
+  const PathTable& paths() const noexcept { return *paths_; }
 
   DecisionConfig& decision() noexcept { return decision_; }
   const DecisionConfig& decision() const noexcept { return decision_; }
@@ -71,14 +91,21 @@ class Speaker {
   // --- Sessions ---------------------------------------------------------
   void add_session(Session session);
   const std::vector<Session>& sessions() const noexcept { return sessions_; }
-  const Session* session_to(net::Asn neighbor) const;
+  const Session* session_to(net::Asn neighbor) const {
+    const auto it = session_index_.find(neighbor);
+    return it == session_index_.end() ? nullptr : &sessions_[it->second];
+  }
 
   // Failure state of the session to `neighbor`, scoped to `prefix` (the
   // network layer injects per-prefix reachability failures). While failed,
   // no update for the prefix is accepted from or exported to the neighbor.
   void set_session_failed(net::Asn neighbor, const net::Prefix& prefix,
                           bool failed);
-  bool session_failed(net::Asn neighbor, const net::Prefix& prefix) const;
+  bool session_failed(net::Asn neighbor, const net::Prefix& prefix) const {
+    if (failed_.empty()) return false;  // the steady-state fast path
+    const auto it = failed_.find(neighbor);
+    return it != failed_.end() && it->second.count(prefix) != 0;
+  }
 
   // Invalidates whatever `neighbor` currently advertises for `prefix`
   // (local state cleanup when the session fails — no message involved).
@@ -139,21 +166,46 @@ class Speaker {
   std::optional<UpdateMessage> eligible_announcement(
       const Session& to, const net::Prefix& prefix) const;
 
+  // Per-(speaker, prefix) export view: resolves the prefix state, the
+  // best route, and the split-horizon session once, then answers the
+  // per-session eligibility question. flush_exports walks every session
+  // after each decision change, so the per-prefix lookups must not be
+  // repeated per session; the probe also caches the prepended path id
+  // (sessions overwhelmingly share one prepend count).
+  class ExportProbe {
+   public:
+    std::optional<UpdateMessage> announcement(const Session& to) const;
+
+   private:
+    friend class Speaker;
+    const Speaker* speaker_ = nullptr;
+    const PrefixState* state_ = nullptr;  // nullptr → nothing eligible
+    const Session* learned_on_ = nullptr;
+    bool valid_ = false;  // best exists and its ingress session resolves
+    mutable std::size_t cached_copies_ = 0;  // 0 = cache empty
+    mutable PathId cached_path_;
+  };
+  ExportProbe export_probe(const net::Prefix& prefix) const;
+
   // --- Maintenance ----------------------------------------------------------
   void clear_prefix(const net::Prefix& prefix);
   std::vector<net::Prefix> known_prefixes() const;
+
+  // Cumulative probe statistics over the speaker-level FlatMaps (RIB and
+  // session index), for perf diagnostics.
+  void add_probe_stats(std::uint64_t& lookups, std::uint64_t& probes) const;
 
  private:
   struct PrefixState {
     net::Prefix prefix;
     // One entry per neighbor that currently advertises the prefix to us.
-    std::unordered_map<net::Asn, Route> in;
+    net::FlatMap<net::Asn, Route> in;
     bool local = false;
     OriginationOptions origination;
     net::SimTime local_since = 0;
     std::optional<Route> best;
     DecisionStep decided_by = DecisionStep::kOnlyRoute;
-    std::unordered_map<net::Asn, DampingState> damping;
+    net::FlatMap<net::Asn, DampingState> damping;
   };
 
   // Recomputes `state.best`; returns true on change.
@@ -162,6 +214,8 @@ class Speaker {
   Route make_local_route(const net::Prefix& prefix, net::SimTime since) const;
 
   net::Asn asn_;
+  PathTable* paths_ = nullptr;
+  std::unique_ptr<PathTable> owned_paths_;  // standalone speakers only
   DecisionConfig decision_;
   ImportPolicy import_;
   ExportPolicy export_;
@@ -171,10 +225,13 @@ class Speaker {
   const RoaTable* rov_table_ = nullptr;
 
   std::vector<Session> sessions_;
-  std::unordered_map<net::Asn, std::size_t> session_index_;
-  std::unordered_map<net::Prefix, PrefixState> rib_;
+  net::FlatMap<net::Asn, std::size_t> session_index_;
+  net::FlatMap<net::Prefix, PrefixState> rib_;
   // (neighbor, prefix) pairs whose session is currently failed.
-  std::unordered_map<net::Asn, std::unordered_set<net::Prefix>> failed_;
+  net::FlatMap<net::Asn, net::FlatSet<net::Prefix>> failed_;
+  // Scratch candidate buffer reused across decisions (capacity persists,
+  // so the steady-state decision runs allocation-free).
+  mutable std::vector<Route> candidate_scratch_;
 };
 
 }  // namespace re::bgp

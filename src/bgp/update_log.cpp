@@ -30,7 +30,7 @@ std::unordered_map<net::Asn, AsPath> UpdateLog::rib_at(
     if (u.withdraw) {
       rib.erase(u.peer);
     } else {
-      rib[u.peer] = u.path;
+      rib[u.peer] = paths_.path(u.path);
     }
   }
   return rib;

@@ -4,16 +4,23 @@
 // collector session. Every announce/withdraw they emit toward the
 // collector is recorded with a timestamp — the raw material for Figure 3's
 // churn timeline and Table 3's congruence check.
+//
+// Paths are hash-consed into the log's own PathTable (public-view churn
+// repeats the same few paths thousands of times), so the log is
+// self-contained: it can be copied out of a network into an
+// ExperimentResult and outlive the network that produced it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bgp/as_path.h"
+#include "bgp/path_table.h"
 #include "netbase/asn.h"
 #include "netbase/clock.h"
 #include "netbase/prefix.h"
@@ -25,16 +32,37 @@ struct CollectorUpdate {
   net::Asn peer;        // the AS feeding the collector
   net::Prefix prefix;
   bool withdraw = false;
-  AsPath path;          // empty for withdrawals
+  PathId path;          // interned in the owning UpdateLog; empty for withdrawals
 };
 
 class UpdateLog {
  public:
-  void record(CollectorUpdate update) { updates_.push_back(std::move(update)); }
-  void clear() { updates_.clear(); }
+  // Records an update, interning `path` into the log's table.
+  void record(net::SimTime time, net::Asn peer, const net::Prefix& prefix,
+              bool withdraw, std::span<const net::Asn> path) {
+    updates_.push_back(
+        CollectorUpdate{time, peer, prefix, withdraw, paths_.intern(path)});
+  }
+  void record(net::SimTime time, net::Asn peer, const net::Prefix& prefix,
+              bool withdraw, const AsPath& path) {
+    record(time, peer, prefix, withdraw,
+           std::span<const net::Asn>(path.asns()));
+  }
+
+  void clear() {
+    updates_.clear();
+    paths_ = PathTable{};
+  }
 
   const std::vector<CollectorUpdate>& updates() const noexcept { return updates_; }
   std::size_t size() const noexcept { return updates_.size(); }
+
+  // Resolving an update's interned path.
+  const PathTable& paths() const noexcept { return paths_; }
+  std::span<const net::Asn> path_span(const CollectorUpdate& u) const noexcept {
+    return paths_.span(u.path);
+  }
+  AsPath path(const CollectorUpdate& u) const { return paths_.path(u.path); }
 
   // Updates for one prefix within [begin, end).
   std::vector<CollectorUpdate> in_window(const net::Prefix& prefix,
@@ -53,6 +81,7 @@ class UpdateLog {
 
  private:
   std::vector<CollectorUpdate> updates_;
+  PathTable paths_;
 };
 
 }  // namespace re::bgp

@@ -1,6 +1,7 @@
 #include "core/rib_survey.h"
 
 #include <algorithm>
+#include <span>
 
 namespace re::core {
 
@@ -20,8 +21,7 @@ namespace {
 // above the origin. Returns (prepends beyond the first copy, upstream) or
 // nullopt when the path does not end in `origin` / has no upstream.
 std::optional<std::pair<std::uint32_t, net::Asn>> origin_run(
-    const bgp::AsPath& path, net::Asn origin) {
-  const auto& asns = path.asns();
+    std::span<const net::Asn> asns, net::Asn origin) {
   if (asns.empty() || asns.back() != origin) return std::nullopt;
   std::size_t run = 0;
   for (auto it = asns.rbegin(); it != asns.rend() && *it == origin; ++it) ++run;
@@ -63,7 +63,7 @@ RibSurveyResult run_rib_survey(const topo::Ecosystem& ecosystem,
       const bgp::Speaker* speaker = network.speaker(peer);
       const bgp::Route* best = speaker->best(representative->prefix);
       if (best == nullptr) continue;
-      const auto run = origin_run(best->path, origin);
+      const auto run = origin_run(network.paths().span(best->path), origin);
       if (!run) continue;
       const auto [prepends, upstream] = *run;
       if (ecosystem.is_re_transit(upstream)) {

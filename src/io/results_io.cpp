@@ -221,8 +221,9 @@ std::vector<std::uint8_t> encode_update_log(const bgp::UpdateLog& log) {
     put32(out, update.prefix.network().value());
     out.push_back(update.prefix.length());
     out.push_back(update.withdraw ? 1 : 0);
-    put16(out, static_cast<std::uint16_t>(update.path.length()));
-    for (const net::Asn asn : update.path.asns()) put32(out, asn.value());
+    const auto path = log.path_span(update);
+    put16(out, static_cast<std::uint16_t>(path.size()));
+    for (const net::Asn asn : path) put32(out, asn.value());
   }
   return out;
 }
@@ -259,13 +260,9 @@ std::optional<bgp::UpdateLog> decode_update_log(
       if (!asn) return std::nullopt;
       asns.push_back(net::Asn{*asn});
     }
-    bgp::CollectorUpdate update;
-    update.time = static_cast<net::SimTime>(*time);
-    update.peer = net::Asn{*peer};
-    update.prefix = net::Prefix(net::IPv4Address(*address), *length);
-    update.withdraw = *withdraw == 1;
-    update.path = bgp::AsPath(std::move(asns));
-    log.record(std::move(update));
+    log.record(static_cast<net::SimTime>(*time), net::Asn{*peer},
+               net::Prefix(net::IPv4Address(*address), *length),
+               *withdraw == 1, std::span<const net::Asn>(asns));
   }
   if (!reader.done()) return std::nullopt;  // trailing garbage
   return log;

@@ -1,0 +1,62 @@
+#include "runtime/perf_counters.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace re::runtime {
+
+double PerfCounters::messages_per_sec() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(messages_delivered) / wall_seconds;
+}
+
+double PerfCounters::avg_probe_length() const noexcept {
+  if (map_lookups == 0) return 0.0;
+  return static_cast<double>(map_probes) / static_cast<double>(map_lookups);
+}
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
+  messages_delivered += other.messages_delivered;
+  // Table/map gauges describe a network instance, not a delta: keep the
+  // larger snapshot when folding runs over the same network.
+  if (other.interned_paths > interned_paths) interned_paths = other.interned_paths;
+  if (other.arena_bytes > arena_bytes) arena_bytes = other.arena_bytes;
+  map_lookups += other.map_lookups;
+  map_probes += other.map_probes;
+  wall_seconds += other.wall_seconds;
+  return *this;
+}
+
+std::string PerfCounters::summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "%llu msgs (%.2fM msg/s), %llu interned paths (%.1f KiB arena),"
+                " avg probe %.2f",
+                static_cast<unsigned long long>(messages_delivered),
+                messages_per_sec() / 1e6,
+                static_cast<unsigned long long>(interned_paths),
+                static_cast<double>(arena_bytes) / 1024.0, avg_probe_length());
+  return buffer;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(status);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,41 @@
+// Lightweight performance counters for the propagation hot path.
+//
+// A PerfCounters snapshot describes one network instance / propagation
+// run: how many messages were delivered, how many distinct AS paths the
+// hash-consing PathTable holds (and the arena bytes backing them), and
+// how well the open-addressing FlatMaps are probing. BgpNetwork fills one
+// per convergence run (see ConvergenceStats::perf); benches aggregate and
+// print them next to wall-clock rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace re::runtime {
+
+struct PerfCounters {
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t interned_paths = 0;  // distinct AS paths in the PathTable
+  std::uint64_t arena_bytes = 0;     // bytes backing the interned paths
+  std::uint64_t map_lookups = 0;     // FlatMap find/insert operations
+  std::uint64_t map_probes = 0;      // total probe steps across lookups
+  double wall_seconds = 0.0;
+
+  double messages_per_sec() const noexcept;
+
+  // Average open-addressing probe length (1.0 = every lookup hit its
+  // home slot; healthy tables stay below ~1.5).
+  double avg_probe_length() const noexcept;
+
+  PerfCounters& operator+=(const PerfCounters& other) noexcept;
+
+  // One-line human-readable form for bench output.
+  std::string summary() const;
+};
+
+// Peak resident set size of the calling process in bytes (Linux VmHWM);
+// 0 where the platform does not expose it.
+std::size_t peak_rss_bytes();
+
+}  // namespace re::runtime

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "bgp/decision.h"
+#include "bgp/path_table.h"
 #include "netbase/rng.h"
 
 namespace re::bgp {
@@ -13,6 +16,9 @@ using net::Asn;
 
 Route make_route(std::uint32_t local_pref, std::size_t path_len,
                  Asn neighbor = Asn{100}) {
+  // One table for the whole test binary: decision inputs only need the
+  // cached path_length/path_first, which set_path fills from the table.
+  static PathTable table;
   Route r;
   r.local_pref = local_pref;
   std::vector<Asn> asns;
@@ -20,7 +26,7 @@ Route make_route(std::uint32_t local_pref, std::size_t path_len,
   for (std::size_t i = 1; i < path_len; ++i) {
     asns.push_back(Asn{static_cast<std::uint32_t>(1000 + i)});
   }
-  r.path = AsPath(asns);
+  r.set_path(table, table.intern(std::span<const Asn>(asns)));
   r.learned_from = neighbor;
   r.neighbor_router_id = neighbor.value();
   return r;

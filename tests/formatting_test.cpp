@@ -2,6 +2,7 @@
 // labels, and experiment naming.
 #include <gtest/gtest.h>
 
+#include "bgp/path_table.h"
 #include "bgp/route.h"
 #include "core/experiment.h"
 
@@ -9,12 +10,13 @@ namespace re {
 namespace {
 
 TEST(RouteToString, RendersPathAndSource) {
+  bgp::PathTable paths;
   bgp::Route route;
   route.prefix = *net::Prefix::parse("163.253.63.0/24");
-  route.path = bgp::AsPath{net::Asn{3754}, net::Asn{11537}};
+  route.set_path(paths, paths.intern(bgp::AsPath{net::Asn{3754}, net::Asn{11537}}));
   route.local_pref = 120;
   route.learned_from = net::Asn{3754};
-  const std::string text = route.to_string();
+  const std::string text = route.to_string(paths);
   EXPECT_NE(text.find("163.253.63.0/24"), std::string::npos);
   EXPECT_NE(text.find("3754 11537"), std::string::npos);
   EXPECT_NE(text.find("lp 120"), std::string::npos);
@@ -22,9 +24,10 @@ TEST(RouteToString, RendersPathAndSource) {
 }
 
 TEST(RouteToString, LocalRoute) {
+  bgp::PathTable paths;
   bgp::Route route;
   route.prefix = *net::Prefix::parse("10.0.0.0/8");
-  const std::string text = route.to_string();
+  const std::string text = route.to_string(paths);
   EXPECT_NE(text.find("local"), std::string::npos);
 }
 

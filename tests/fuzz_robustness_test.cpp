@@ -97,8 +97,8 @@ TEST_P(FuzzSeed, UpdateLogDecoderNeverCrashes) {
   // Bit-flip fuzz over a valid encoding: decode either fails or yields a
   // structurally valid log (never crashes, never over-reads).
   bgp::UpdateLog log;
-  log.record({1, net::Asn{2}, *net::Prefix::parse("10.0.0.0/24"), false,
-              bgp::AsPath{net::Asn{2}, net::Asn{3}}});
+  log.record(1, net::Asn{2}, *net::Prefix::parse("10.0.0.0/24"), false,
+             bgp::AsPath{net::Asn{2}, net::Asn{3}});
   const auto valid = io::encode_update_log(log);
   for (int i = 0; i < 500; ++i) {
     auto mutated = valid;

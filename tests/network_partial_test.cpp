@@ -132,7 +132,7 @@ TEST(NetworkDamping, SlowPacedChangesNeverSuppress) {
     network.set_origin_prepend(Asn{1}, kPrefix, p);
     network.run_to_convergence();
     ASSERT_NE(edge->best(kPrefix), nullptr) << "change " << p;
-    EXPECT_EQ(edge->best(kPrefix)->path.count(Asn{1}), p + 1);
+    EXPECT_EQ(network.paths().count(edge->best(kPrefix)->path, Asn{1}), p + 1);
   }
 }
 

@@ -34,7 +34,7 @@ TEST(BgpNetwork, PropagatesAnnouncementToAll) {
         << asn.to_string();
   }
   // Edge AS 3 has a two-hop path through one of its providers.
-  EXPECT_EQ(f.network.speaker(Asn{3})->best(kPrefix)->path.length(), 2u);
+  EXPECT_EQ(f.network.speaker(Asn{3})->best(kPrefix)->path_length, 2u);
 }
 
 TEST(BgpNetwork, WithdrawRemovesEverywhere) {
@@ -70,11 +70,11 @@ TEST(BgpNetwork, PrependChangePropagates) {
   f.network.announce(Asn{1}, kPrefix);
   f.network.run_to_convergence();
   const std::size_t before =
-      f.network.speaker(Asn{3})->best(kPrefix)->path.length();
+      f.network.speaker(Asn{3})->best(kPrefix)->path_length;
   f.network.set_origin_prepend(Asn{1}, kPrefix, 3);
   f.network.run_to_convergence();
   const std::size_t after =
-      f.network.speaker(Asn{3})->best(kPrefix)->path.length();
+      f.network.speaker(Asn{3})->best(kPrefix)->path_length;
   EXPECT_EQ(after, before + 3);
 }
 
@@ -190,8 +190,8 @@ TEST(BgpNetwork, CollectorRecordsAnnounceAndWithdraw) {
   EXPECT_FALSE(updates.front().withdraw);
   EXPECT_EQ(updates.front().peer, Asn{3});
   // Collector paths include the peer's own ASN.
-  EXPECT_EQ(updates.front().path.first(), Asn{3});
-  EXPECT_EQ(updates.front().path.origin(), Asn{1});
+  EXPECT_EQ(f.network.update_log().path_span(updates.front()).front(), Asn{3});
+  EXPECT_EQ(f.network.update_log().path_span(updates.front()).back(), Asn{1});
   EXPECT_TRUE(updates.back().withdraw);
 }
 
@@ -247,7 +247,8 @@ TEST(BgpNetwork, DeterministicForSeed) {
     network.run_to_convergence();
     std::string log;
     for (const auto& u : network.update_log().updates()) {
-      log += std::to_string(u.time) + ":" + u.path.to_string() + ";";
+      log += std::to_string(u.time) + ":" +
+             network.update_log().paths().to_string(u.path) + ";";
     }
     return log;
   };

@@ -86,10 +86,11 @@ TEST_P(PropagationProperty, PathsAreLoopFree) {
   topo.network.run_to_convergence();
   for (const Asn as : topo.all()) {
     const Route* best = topo.network.speaker(as)->best(kPrefix);
-    if (best == nullptr || best->path.empty()) continue;
-    EXPECT_EQ(best->path.unique_count(), best->path.length())
-        << as.to_string() << " path " << best->path.to_string();
-    EXPECT_FALSE(best->path.contains(as)) << as.to_string();
+    const PathTable& paths = topo.network.paths();
+    if (best == nullptr || paths.empty(best->path)) continue;
+    EXPECT_EQ(paths.unique_count(best->path), paths.length(best->path))
+        << as.to_string() << " path " << paths.to_string(best->path);
+    EXPECT_FALSE(paths.contains(best->path, as)) << as.to_string();
   }
 }
 
@@ -100,13 +101,14 @@ TEST_P(PropagationProperty, PathsAreValleyFree) {
   topo.network.run_to_convergence();
   for (const Asn as : topo.all()) {
     const Route* best = topo.network.speaker(as)->best(kPrefix);
-    if (best == nullptr || best->path.empty()) continue;
+    const PathTable& paths = topo.network.paths();
+    if (best == nullptr || paths.empty(best->path)) continue;
     // Walk the path from the observer toward the origin. Once the path
     // goes "down" (provider->customer step) or sideways (peer), it must
     // never go "up" (customer->provider) or sideways again.
     std::vector<Asn> hops;
     hops.push_back(as);
-    for (const Asn hop : best->path.asns()) hops.push_back(hop);
+    for (const Asn hop : paths.span(best->path)) hops.push_back(hop);
     bool descended = false;
     for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
       const auto it = topo.edges.find({hops[i], hops[i + 1]});
@@ -118,7 +120,7 @@ TEST_P(PropagationProperty, PathsAreValleyFree) {
       } else {
         // Upward or lateral step: only allowed before any descent.
         EXPECT_FALSE(descended)
-            << "valley in path " << best->path.to_string() << " at "
+            << "valley in path " << paths.to_string(best->path) << " at "
             << hops[i].to_string();
       }
     }
@@ -163,7 +165,7 @@ TEST_P(PropagationProperty, ReAnnounceAfterWithdrawMatchesFirstAnnounce) {
   std::unordered_map<Asn, AsPath> first;
   for (const Asn as : topo.all()) {
     if (const Route* best = topo.network.speaker(as)->best(kPrefix)) {
-      first[as] = best->path;
+      first[as] = topo.network.paths().path(best->path);
     }
   }
   topo.network.withdraw(origin, kPrefix);
@@ -174,7 +176,8 @@ TEST_P(PropagationProperty, ReAnnounceAfterWithdrawMatchesFirstAnnounce) {
     const Route* best = topo.network.speaker(as)->best(kPrefix);
     if (first.count(as)) {
       ASSERT_NE(best, nullptr) << as.to_string();
-      EXPECT_EQ(best->path, first.at(as)) << as.to_string();
+      EXPECT_EQ(topo.network.paths().path(best->path), first.at(as))
+          << as.to_string();
     } else {
       EXPECT_EQ(best, nullptr) << as.to_string();
     }
@@ -190,7 +193,7 @@ TEST_P(PropagationProperty, PrependMonotonicallyLengthensPaths) {
   for (const Asn as : topo.all()) {
     if (as == origin) continue;  // the origin's local route has no path
     if (const Route* best = topo.network.speaker(as)->best(kPrefix)) {
-      baseline[as] = best->path.length();
+      baseline[as] = best->path_length;
     }
   }
   topo.network.set_origin_prepend(origin, kPrefix, 2);
@@ -199,7 +202,7 @@ TEST_P(PropagationProperty, PrependMonotonicallyLengthensPaths) {
     const Route* best = topo.network.speaker(as)->best(kPrefix);
     ASSERT_NE(best, nullptr) << as.to_string();
     // With a single origin, every surviving path carries the prepends.
-    EXPECT_EQ(best->path.length(), length + 2) << as.to_string();
+    EXPECT_EQ(best->path_length, length + 2) << as.to_string();
   }
 }
 

@@ -117,21 +117,21 @@ TEST(SpeakerRov, DropsInvalidKeepsValidAndNotFound) {
   // Valid: authorized origin.
   UpdateMessage valid;
   valid.prefix = *Prefix::parse("10.0.1.0/24");
-  valid.path = AsPath{Asn{1}, Asn{9}};
+  valid.path = s.paths().intern(AsPath{Asn{1}, Asn{9}});
   EXPECT_TRUE(s.receive(Asn{1}, valid, 0));
   EXPECT_NE(s.best(valid.prefix), nullptr);
 
   // Invalid: wrong origin under a covering ROA — dropped.
   UpdateMessage hijack;
   hijack.prefix = *Prefix::parse("10.0.2.0/24");
-  hijack.path = AsPath{Asn{1}, Asn{666}};
+  hijack.path = s.paths().intern(AsPath{Asn{1}, Asn{666}});
   EXPECT_FALSE(s.receive(Asn{1}, hijack, 0));
   EXPECT_EQ(s.best(hijack.prefix), nullptr);
 
   // NotFound: no covering ROA — accepted.
   UpdateMessage elsewhere;
   elsewhere.prefix = *Prefix::parse("172.16.0.0/24");
-  elsewhere.path = AsPath{Asn{1}, Asn{666}};
+  elsewhere.path = s.paths().intern(AsPath{Asn{1}, Asn{666}});
   EXPECT_TRUE(s.receive(Asn{1}, elsewhere, 0));
   EXPECT_NE(s.best(elsewhere.prefix), nullptr);
 }
@@ -150,13 +150,13 @@ TEST(SpeakerRov, InvalidUpdateImplicitlyWithdrawsPrior) {
 
   UpdateMessage valid;
   valid.prefix = *Prefix::parse("10.0.1.0/24");
-  valid.path = AsPath{Asn{1}, Asn{9}};
+  valid.path = s.paths().intern(AsPath{Asn{1}, Asn{9}});
   s.receive(Asn{1}, valid, 0);
   ASSERT_NE(s.best(valid.prefix), nullptr);
 
   UpdateMessage reorigin;  // same prefix, now from an unauthorized origin
   reorigin.prefix = valid.prefix;
-  reorigin.path = AsPath{Asn{1}, Asn{666}};
+  reorigin.path = s.paths().intern(AsPath{Asn{1}, Asn{666}});
   EXPECT_TRUE(s.receive(Asn{1}, reorigin, 1));
   EXPECT_EQ(s.best(valid.prefix), nullptr);
 }

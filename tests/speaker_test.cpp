@@ -22,10 +22,12 @@ Session make_session(Asn neighbor, Relationship rel, bool re_edge,
   return s;
 }
 
-UpdateMessage announce(const AsPath& path, bool re_only = false) {
+// Updates carry PathIds, so announcements are interned into the receiving
+// speaker's own table (standalone speakers each own one).
+UpdateMessage announce(Speaker& s, const AsPath& path, bool re_only = false) {
   UpdateMessage m;
   m.prefix = kPrefix;
-  m.path = path;
+  m.path = s.paths().intern(path);
   m.re_only = re_only;
   return m;
 }
@@ -40,30 +42,30 @@ UpdateMessage withdraw() {
 TEST(Speaker, InstallsRouteFromNeighbor) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  EXPECT_TRUE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0));
+  EXPECT_TRUE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0));
   const Route* best = s.best(kPrefix);
   ASSERT_NE(best, nullptr);
   EXPECT_EQ(best->learned_from, Asn{1});
-  EXPECT_EQ(best->path.origin(), Asn{9});
+  EXPECT_EQ(s.paths().origin(best->path), Asn{9});
 }
 
 TEST(Speaker, IgnoresUpdatesFromUnknownNeighbor) {
   Speaker s(Asn{42});
-  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}}), 0));
+  EXPECT_FALSE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}}), 0));
   EXPECT_EQ(s.best(kPrefix), nullptr);
 }
 
 TEST(Speaker, DropsLoopedPaths) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{42}, Asn{9}}), 0));
+  EXPECT_FALSE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{42}, Asn{9}}), 0));
   EXPECT_EQ(s.best(kPrefix), nullptr);
 }
 
 TEST(Speaker, WithdrawRemovesRoute) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}}), 0);
   EXPECT_TRUE(s.receive(Asn{1}, withdraw(), 1));
   EXPECT_EQ(s.best(kPrefix), nullptr);
   // Withdrawing again is a no-op.
@@ -73,17 +75,17 @@ TEST(Speaker, WithdrawRemovesRoute) {
 TEST(Speaker, DuplicateAnnouncementPreservesRouteAge) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 100);
-  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 900));
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 100);
+  EXPECT_FALSE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 900));
   EXPECT_EQ(s.best(kPrefix)->established_at, 100);
 }
 
 TEST(Speaker, AttributeChangeResetsRouteAge) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 100);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 100);
   // A prepend change is an attribute change.
-  EXPECT_TRUE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}, Asn{9}}), 900));
+  EXPECT_TRUE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}, Asn{9}}), 900));
   EXPECT_EQ(s.best(kPrefix)->established_at, 900);
 }
 
@@ -92,8 +94,8 @@ TEST(Speaker, PicksHigherLocalPrefNeighbor) {
   s.import_policy().re_stance = ReStance::kPreferRe;
   s.add_session(make_session(Asn{1}, Relationship::kProvider, true));   // R&E
   s.add_session(make_session(Asn{2}, Relationship::kProvider, false));  // comm.
-  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{9}}), 0);
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{7}, Asn{8}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(s, AsPath{Asn{2}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{7}, Asn{8}, Asn{9}}), 0);
   // R&E wins despite the longer path.
   EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
   EXPECT_EQ(s.best_decided_by(kPrefix), DecisionStep::kLocalPref);
@@ -104,8 +106,8 @@ TEST(Speaker, EqualPrefFallsToPathLength) {
   s.import_policy().re_stance = ReStance::kEqualPref;
   s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
   s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{7}, Asn{9}}), 0);
-  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{7}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(s, AsPath{Asn{2}, Asn{9}}), 0);
   EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
   EXPECT_EQ(s.best_decided_by(kPrefix), DecisionStep::kAsPathLength);
 }
@@ -115,15 +117,15 @@ TEST(Speaker, RejectReRoutesLeavesOnlyCommodity) {
   s.import_policy().reject_re_routes = true;
   s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
   s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
-  EXPECT_FALSE(s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0));
-  EXPECT_TRUE(s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0));
+  EXPECT_FALSE(s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0));
+  EXPECT_TRUE(s.receive(Asn{2}, announce(s, AsPath{Asn{2}, Asn{8}, Asn{9}}), 0));
   EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
 }
 
 TEST(Speaker, LocalOriginationBeatsLearnedRoutes) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   EXPECT_TRUE(s.originate(kPrefix, 1));
   const Route* best = s.best(kPrefix);
   ASSERT_NE(best, nullptr);
@@ -137,11 +139,11 @@ TEST(Speaker, ExportPrependsOwnAsn) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
   s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   const Session* to = s.session_to(Asn{2});
   const auto msg = s.eligible_announcement(*to, kPrefix);
   ASSERT_TRUE(msg.has_value());
-  EXPECT_EQ(msg->path.to_string(), "42 1 9");
+  EXPECT_EQ(s.paths().to_string(msg->path), "42 1 9");
 }
 
 TEST(Speaker, ExportAppliesConfiguredPrepends) {
@@ -151,13 +153,13 @@ TEST(Speaker, ExportAppliesConfiguredPrepends) {
   s.originate(kPrefix, 0);
   const auto msg = s.eligible_announcement(*s.session_to(Asn{2}), kPrefix);
   ASSERT_TRUE(msg.has_value());
-  EXPECT_EQ(msg->path.to_string(), "42 42 42");
+  EXPECT_EQ(s.paths().to_string(msg->path), "42 42 42");
 }
 
 TEST(Speaker, SplitHorizonNeverEchoesBack) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kCustomer, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{1}), kPrefix));
 }
 
@@ -167,7 +169,7 @@ TEST(Speaker, GaoRexfordExportThroughSpeaker) {
   s.add_session(make_session(Asn{2}, Relationship::kPeer, false));
   s.add_session(make_session(Asn{3}, Relationship::kCustomer, false));
   // Provider-learned route: only the customer may hear it.
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{2}), kPrefix));
   EXPECT_TRUE(s.eligible_announcement(*s.session_to(Asn{3}), kPrefix));
 }
@@ -177,7 +179,7 @@ TEST(Speaker, ReOnlyRoutesStayOnReFabric) {
   s.add_session(make_session(Asn{1}, Relationship::kCustomer, true));
   s.add_session(make_session(Asn{2}, Relationship::kCustomer, false));
   s.add_session(make_session(Asn{3}, Relationship::kCustomer, true));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}, /*re_only=*/true), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}, /*re_only=*/true), 0);
   EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{2}), kPrefix));
   const auto re_export = s.eligible_announcement(*s.session_to(Asn{3}), kPrefix);
   ASSERT_TRUE(re_export.has_value());
@@ -201,7 +203,7 @@ TEST(Speaker, ExportPathBlockFilters) {
   s.add_session(make_session(Asn{3}, Relationship::kCustomer, true));
   s.set_re_transit_between_peers(true);
   s.export_policy().neighbor_path_block[Asn{3}] = {Asn{11537}};
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{11537}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{11537}}), 0);
   EXPECT_FALSE(s.eligible_announcement(*s.session_to(Asn{3}), kPrefix));
 }
 
@@ -218,8 +220,8 @@ TEST(Speaker, BestCommodityIgnoresReRoutes) {
   s.import_policy().re_stance = ReStance::kPreferRe;
   s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
   s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
-  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(s, AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
   EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{1});
   const Route* commodity = s.best_commodity(kPrefix);
   ASSERT_NE(commodity, nullptr);
@@ -229,7 +231,7 @@ TEST(Speaker, BestCommodityIgnoresReRoutes) {
 TEST(Speaker, BestCommodityNullWhenOnlyReRoutes) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, true));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   EXPECT_EQ(s.best_commodity(kPrefix), nullptr);
 }
 
@@ -237,8 +239,8 @@ TEST(Speaker, CandidatesSortedAndComplete) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{5}, Relationship::kProvider, false));
   s.add_session(make_session(Asn{3}, Relationship::kProvider, false));
-  s.receive(Asn{5}, announce(AsPath{Asn{5}, Asn{9}}), 0);
-  s.receive(Asn{3}, announce(AsPath{Asn{3}, Asn{9}}), 0);
+  s.receive(Asn{5}, announce(s, AsPath{Asn{5}, Asn{9}}), 0);
+  s.receive(Asn{3}, announce(s, AsPath{Asn{3}, Asn{9}}), 0);
   const auto candidates = s.candidates(kPrefix);
   ASSERT_EQ(candidates.size(), 2u);
   EXPECT_EQ(candidates[0].learned_from, Asn{3});
@@ -251,16 +253,16 @@ TEST(Speaker, DampingSuppressesFlappingNeighbor) {
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
   s.add_session(make_session(Asn{2}, Relationship::kProvider, false));
   // Stable alternative with a longer path.
-  s.receive(Asn{2}, announce(AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
+  s.receive(Asn{2}, announce(s, AsPath{Asn{2}, Asn{8}, Asn{9}}), 0);
   // Flap the short route repeatedly.
   net::SimTime t = 0;
   for (int i = 0; i < 4; ++i) {
-    s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), t);
+    s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), t);
     t += 10;
     s.receive(Asn{1}, withdraw(), t);
     t += 10;
   }
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), t);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), t);
   // The flapping route is suppressed; the stable one wins.
   EXPECT_EQ(s.best(kPrefix)->learned_from, Asn{2});
   // After the penalty decays, reevaluation restores the shorter route.
@@ -271,7 +273,7 @@ TEST(Speaker, DampingSuppressesFlappingNeighbor) {
 TEST(Speaker, ClearPrefixForgetsEverything) {
   Speaker s(Asn{42});
   s.add_session(make_session(Asn{1}, Relationship::kProvider, false));
-  s.receive(Asn{1}, announce(AsPath{Asn{1}, Asn{9}}), 0);
+  s.receive(Asn{1}, announce(s, AsPath{Asn{1}, Asn{9}}), 0);
   s.clear_prefix(kPrefix);
   EXPECT_EQ(s.best(kPrefix), nullptr);
   EXPECT_TRUE(s.known_prefixes().empty());

@@ -25,9 +25,8 @@ ExperimentResult make_result() {
 }
 
 void add_update(ExperimentResult& result, net::SimTime t) {
-  result.update_log.record(bgp::CollectorUpdate{
-      t, net::Asn{3356}, result.measurement_prefix, false,
-      bgp::AsPath{net::Asn{3356}, net::Asn{396955}}});
+  result.update_log.record(t, net::Asn{3356}, result.measurement_prefix, false,
+                           bgp::AsPath{net::Asn{3356}, net::Asn{396955}});
 }
 
 TEST(Timeline, PhaseCountsSplitAtRePhaseEnd) {
@@ -68,9 +67,9 @@ TEST(Timeline, UpdatesDuringProbeWindowCountedSeparately) {
 
 TEST(Timeline, OtherPrefixesIgnored) {
   ExperimentResult result = make_result();
-  result.update_log.record(bgp::CollectorUpdate{
-      10, net::Asn{3356}, *net::Prefix::parse("10.0.0.0/8"), false,
-      bgp::AsPath{net::Asn{1}}});
+  result.update_log.record(10, net::Asn{3356},
+                           *net::Prefix::parse("10.0.0.0/8"), false,
+                           bgp::AsPath{net::Asn{1}});
   const Figure3 fig = build_figure3(result);
   EXPECT_EQ(fig.re_phase_updates, 0u);
   EXPECT_EQ(fig.comm_phase_updates, 0u);

@@ -36,10 +36,10 @@ announce 7377 192.0.2.0/24
   // path lengths (the figure's point).
   EXPECT_TRUE(best->re_edge);
   EXPECT_EQ(best->learned_from, Asn{3754});
-  EXPECT_EQ(best->path.length(),
+  EXPECT_EQ(best->path_length,
             network.speaker(Asn{14})
                 ->candidates(*net::Prefix::parse("192.0.2.0/24"))[0]
-                .path.length());
+                .path_length);
 }
 
 TEST(TopologyConfig, AcceptsAsnPrefixesAndComments) {

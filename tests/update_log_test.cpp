@@ -12,16 +12,17 @@ using net::Prefix;
 const Prefix kPrefix = *Prefix::parse("163.253.63.0/24");
 const Prefix kOther = *Prefix::parse("10.0.0.0/8");
 
-CollectorUpdate update(net::SimTime t, Asn peer, bool withdraw,
-                       AsPath path = AsPath{}) {
-  return CollectorUpdate{t, peer, kPrefix, withdraw, std::move(path)};
+// record() interns the path into the log's own table.
+void record(UpdateLog& log, net::SimTime t, Asn peer, bool withdraw,
+            const AsPath& path = AsPath{}) {
+  log.record(t, peer, kPrefix, withdraw, path);
 }
 
 TEST(UpdateLog, CountInWindowFiltersTimeAndPrefix) {
   UpdateLog log;
-  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
-  log.record(update(20, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}}));
-  log.record(CollectorUpdate{15, Asn{1}, kOther, false, AsPath{Asn{1}}});
+  record(log, 10, Asn{1}, false, AsPath{Asn{1}, Asn{9}});
+  record(log, 20, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}});
+  log.record(15, Asn{1}, kOther, false, AsPath{Asn{1}});
   EXPECT_EQ(log.count_in_window(kPrefix, 0, 100), 2u);
   EXPECT_EQ(log.count_in_window(kPrefix, 0, 15), 1u);
   EXPECT_EQ(log.count_in_window(kPrefix, 20, 21), 1u);  // inclusive begin
@@ -31,8 +32,8 @@ TEST(UpdateLog, CountInWindowFiltersTimeAndPrefix) {
 
 TEST(UpdateLog, InWindowReturnsMatchingUpdates) {
   UpdateLog log;
-  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
-  log.record(update(50, Asn{2}, true));
+  record(log, 10, Asn{1}, false, AsPath{Asn{1}, Asn{9}});
+  record(log, 50, Asn{2}, true);
   const auto window = log.in_window(kPrefix, 0, 60);
   ASSERT_EQ(window.size(), 2u);
   EXPECT_EQ(window[0].peer, Asn{1});
@@ -41,10 +42,10 @@ TEST(UpdateLog, InWindowReturnsMatchingUpdates) {
 
 TEST(UpdateLog, RibAtReconstructsLatestState) {
   UpdateLog log;
-  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
-  log.record(update(20, Asn{2}, false, AsPath{Asn{2}, Asn{9}}));
-  log.record(update(30, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}}));
-  log.record(update(40, Asn{2}, true));
+  record(log, 10, Asn{1}, false, AsPath{Asn{1}, Asn{9}});
+  record(log, 20, Asn{2}, false, AsPath{Asn{2}, Asn{9}});
+  record(log, 30, Asn{1}, false, AsPath{Asn{1}, Asn{8}, Asn{9}});
+  record(log, 40, Asn{2}, true);
 
   const auto at25 = log.rib_at(kPrefix, 25);
   ASSERT_EQ(at25.size(), 2u);
@@ -61,14 +62,14 @@ TEST(UpdateLog, RibAtReconstructsLatestState) {
 
 TEST(UpdateLog, RibAtBoundaryIsInclusive) {
   UpdateLog log;
-  log.record(update(10, Asn{1}, false, AsPath{Asn{1}, Asn{9}}));
+  record(log, 10, Asn{1}, false, AsPath{Asn{1}, Asn{9}});
   EXPECT_TRUE(log.rib_at(kPrefix, 10).count(Asn{1}));
   EXPECT_FALSE(log.rib_at(kPrefix, 9).count(Asn{1}));
 }
 
 TEST(UpdateLog, ClearEmptiesLog) {
   UpdateLog log;
-  log.record(update(10, Asn{1}, false));
+  record(log, 10, Asn{1}, false);
   log.clear();
   EXPECT_EQ(log.size(), 0u);
   EXPECT_TRUE(log.updates().empty());
