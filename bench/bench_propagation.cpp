@@ -10,16 +10,21 @@
 //
 // Scenarios (names get RE_BENCH_SUFFIX appended, so a pre-change build
 // can record "_baseline" rows into BENCH_results.json):
-//   * stress_sweep_serial   — RE_PROP_TRIALS independent trial sweeps, inline.
-//   * stress_sweep_parallel — same trials on the RE_THREADS thread pool.
-//     The bench fails (exit 1) if any trial fingerprint diverges from the
-//     serial pass: the determinism contract at stress scale.
+//   * stress_sweep_serial   — RE_PROP_TRIALS trial sweeps, fully serial.
+//   * stress_sweep_parallel — same trials with the network's round-sharded
+//     engine at RE_THREADS workers (default 8). The bench fails (exit 1)
+//     if any trial fingerprint diverges from the serial pass: the
+//     intra-network determinism contract at stress scale.
+//   * stress_scaling_w{1,2,4,8} — one trial per worker count, same seed,
+//     for the thread-scaling trajectory; every point must reproduce the
+//     serial fingerprint.
 //   * loop_check_micro      — import-time loop-detection / path-replace
 //     micro-loop (the AsPath::contains fast-path satellite).
 //
 // Size knobs: RE_PROP_MEMBERS (default 4600 member ASes → ~5K total),
 // RE_PROP_PREFIXES (default 200), RE_PROP_TRIALS (default 2),
-// RE_PROP_LOOP_ITERS (default 400000).
+// RE_PROP_LOOP_ITERS (default 400000); RE_THREADS sets the sharded pass's
+// worker count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstdint>
@@ -84,10 +89,11 @@ struct TrialResult {
 };
 
 TrialResult run_sweep(const re::topo::Ecosystem& eco, std::uint64_t seed,
-                      std::size_t count) {
+                      std::size_t count, std::size_t workers = 1) {
   using namespace re;
   bgp::BgpNetwork network(seed);
   eco.build_network(network);
+  network.set_workers(workers);
 
   TrialResult out;
   std::uint64_t fp = 1469598103934665603ull;
@@ -214,23 +220,41 @@ int main() {
   for (const TrialResult& r : serial) perf += r.perf;
   std::printf("[stress] perf: %s\n", perf.summary().c_str());
 
-  // ---- parallel pass -----------------------------------------------------
-  runtime::ThreadPool pool;
+  // ---- round-sharded pass ------------------------------------------------
+  // Same trials, propagated through the intra-network round-sharded
+  // engine. Trials stay sequential: the parallelism under test is inside
+  // each convergence run, not across trials.
+  const std::size_t sharded_workers = env_size("RE_THREADS", 8);
   std::vector<TrialResult> parallel(params.trials);
   const auto parallel_start = std::chrono::steady_clock::now();
-  pool.parallel_for(params.trials, [&](std::size_t t) {
-    parallel[t] = run_sweep(eco, trial_seed(t), params.prefixes);
-  });
+  for (std::size_t t = 0; t < params.trials; ++t) {
+    parallel[t] = run_sweep(eco, trial_seed(t), params.prefixes,
+                            sharded_workers);
+  }
   const double parallel_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     parallel_start)
           .count();
   timer.record(suffixed("stress_sweep_parallel"), parallel_wall,
-               pool.thread_count());
-  std::printf("[stress] parallel: %.3fs on %zu threads (speedup %.2fx)\n",
-              parallel_wall, pool.thread_count(),
+               sharded_workers);
+  std::printf("[stress] parallel: %.3fs at %zu workers (speedup %.2fx)\n",
+              parallel_wall, sharded_workers,
               parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
+  runtime::PerfCounters parallel_perf;
+  for (const TrialResult& r : parallel) parallel_perf += r.perf;
+  std::printf("[stress] parallel perf: %s\n", parallel_perf.summary().c_str());
 
+  std::uint64_t serial_digest = 1469598103934665603ull;
+  std::uint64_t parallel_digest = serial_digest;
+  for (std::size_t t = 0; t < params.trials; ++t) {
+    serial_digest = fnv1a(serial_digest, serial[t].fingerprint);
+    parallel_digest = fnv1a(parallel_digest, parallel[t].fingerprint);
+  }
+  // Stable, machine-parseable digest line — CI greps this to gate on
+  // serial/parallel classification divergence.
+  std::printf("[stress] digest serial=%016llx parallel=%016llx\n",
+              static_cast<unsigned long long>(serial_digest),
+              static_cast<unsigned long long>(parallel_digest));
   for (std::size_t t = 0; t < params.trials; ++t) {
     if (serial[t].fingerprint != parallel[t].fingerprint) {
       std::printf("FAIL: trial %zu fingerprint diverged serial=%016llx "
@@ -241,8 +265,34 @@ int main() {
     }
   }
   std::printf("[stress] determinism: %zu trials bit-identical serial vs "
-              "parallel\n",
-              params.trials);
+              "sharded x%zu\n",
+              params.trials, sharded_workers);
+
+  // ---- thread-scaling trajectory ----------------------------------------
+  // One trial (the serial pass's first seed) per worker count; each point
+  // must land on the serial fingerprint bit-for-bit.
+  for (const std::size_t w : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const auto scale_start = std::chrono::steady_clock::now();
+    const TrialResult r = run_sweep(eco, trial_seed(0), params.prefixes, w);
+    const double scale_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scale_start)
+            .count();
+    timer.record(suffixed(("stress_scaling_w" + std::to_string(w)).c_str()),
+                 scale_wall, w);
+    std::printf("[stress] scaling w=%zu: %.3fs (balance %.2f, barrier %.2fs, "
+                "merge %.2fs)\n",
+                w, scale_wall, r.perf.shard_balance(),
+                r.perf.barrier_wait_seconds, r.perf.merge_seconds);
+    if (r.fingerprint != serial[0].fingerprint) {
+      std::printf("FAIL: scaling w=%zu fingerprint diverged %016llx vs "
+                  "%016llx\n",
+                  w, static_cast<unsigned long long>(r.fingerprint),
+                  static_cast<unsigned long long>(serial[0].fingerprint));
+      return 1;
+    }
+  }
 
   // ---- loop-check micro --------------------------------------------------
   const auto micro_start = std::chrono::steady_clock::now();

@@ -3,14 +3,31 @@
 // Updates travel as timestamped messages through a priority queue; each
 // edge has a deterministic base delay plus seeded jitter, which produces
 // realistic transient path exploration ("path hunting") and therefore a
-// realistic update-churn timeline (Figure 3). A run is a pure function of
-// the construction seed.
+// realistic update-churn timeline (Figure 3). The jitter is *stateless*:
+// it is hashed from (network seed, directed edge, prefix, per-flow message
+// index), never drawn from a shared sequential RNG, so a prefix's
+// propagation timeline is a pure function of the seed and that prefix's
+// own history — independent of which other prefixes are in flight, of
+// thread count, and of scheduling order.
+//
+// Propagation is round-synchronous: the engine drains the queue one
+// simulated-time tick at a time (messages emitted in a round always
+// deliver strictly later, so a round is closed under causality). With
+// workers configured (set_workers / use_pool / RE_THREADS), a round's
+// messages are sharded by destination speaker across the thread pool —
+// each speaker's RIB is touched by exactly one worker per round, so the
+// decision process runs lock-free — and the emitted updates are staged
+// per worker, then merged into the global queue serially in canonical
+// (time, seq) order. Interning, sent-state writes, collector log appends
+// and delivery-time assignment all happen in that serial merge, in
+// exactly the order a serial run performs them, which makes the parallel
+// schedule bit-identical to the serial one (see DESIGN.md §5c).
 //
 // The network owns the PathTable all its speakers intern into: queued
 // messages and edge suppression state carry 32-bit PathIds, and the hot
-// maps (speaker index, per-edge FIFO clamps, duplicate-suppression state)
-// are open-addressing FlatMaps. One table per network also keeps parallel
-// sweeps share-nothing: two networks never touch the same arena.
+// maps (speaker index, per-edge-flow FIFO clamps, duplicate-suppression
+// state) are open-addressing FlatMaps. One table per network also keeps
+// parallel sweeps share-nothing: two networks never touch the same arena.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +44,7 @@
 #include "netbase/flat_map.h"
 #include "netbase/rng.h"
 #include "runtime/perf_counters.h"
+#include "runtime/thread_pool.h"
 
 namespace re::bgp {
 
@@ -41,7 +59,7 @@ struct ConvergenceStats {
 
 class BgpNetwork {
  public:
-  explicit BgpNetwork(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit BgpNetwork(std::uint64_t seed = 1) : seed_(seed) {}
 
   net::SimClock& clock() noexcept { return clock_; }
   const net::SimClock& clock() const noexcept { return clock_; }
@@ -49,6 +67,22 @@ class BgpNetwork {
   // The path intern table shared by every speaker in this network.
   PathTable& paths() noexcept { return paths_; }
   const PathTable& paths() const noexcept { return paths_; }
+
+  // --- Intra-network parallelism ------------------------------------------
+
+  // Shards each propagation round across `workers` threads (1 disables;
+  // the pool is created lazily on the first parallel round). Results are
+  // bit-identical to serial execution at any worker count.
+  void set_workers(std::size_t workers);
+
+  // Borrows an external pool instead of owning one (nullptr = serial).
+  // The pool must not be running other work while this network converges:
+  // ThreadPool::parallel_for is not reentrant, so a network driven from
+  // inside another pool job must stay serial (the default).
+  void use_pool(runtime::ThreadPool* pool);
+
+  // The round-sharding width the next run will use (1 = serial).
+  std::size_t workers() const noexcept;
 
   // --- Topology construction --------------------------------------------
 
@@ -64,6 +98,12 @@ class BgpNetwork {
   bool contains(net::Asn asn) const { return index_.count(asn) != 0; }
   std::vector<net::Asn> asns() const;
   std::size_t speaker_count() const noexcept { return speakers_.size(); }
+
+  // Pre-sizes the network-level hot maps from known topology
+  // cardinalities (speaker and directed-session-pair counts), so the
+  // first convergence wave does not pay rehash churn. Builders call this
+  // up front; calling late or not at all is merely slower.
+  void reserve_topology(std::size_t speakers, std::size_t edges);
 
   // Provider-customer link: `customer` buys transit from `provider`.
   void connect_transit(net::Asn provider, net::Asn customer, bool re_edge = false);
@@ -163,6 +203,57 @@ class BgpNetwork {
     }
   };
 
+  // Per-(directed edge, prefix) flow state: the FIFO clamp (BGP runs over
+  // TCP — an update for a prefix never overtakes an earlier one on the
+  // same session) and the message counter that keys the stateless jitter.
+  struct EdgeFlowState {
+    net::SimTime last_delivery = 0;
+    std::uint32_t sent = 0;
+  };
+
+  // --- Round-parallel staging ----------------------------------------------
+
+  // One update a worker decided to emit; delivery time, seq and (for
+  // pending path ids) the final interned id are assigned at merge.
+  struct StagedEmission {
+    net::Asn to;
+    UpdateMessage update;  // update.path may be a stager-pending id
+  };
+  // A collector-log append a worker decided on (path may be pending).
+  struct StagedCollector {
+    bool withdraw = false;
+    PathId path;
+    Origin origin = Origin::kIgp;
+  };
+  static constexpr std::uint32_t kNoCollectorRecord =
+      static_cast<std::uint32_t>(-1);
+  // Per-delivered-message outcome, indexed by round position so the merge
+  // can replay effects in canonical (time, seq) order.
+  struct MessageEffects {
+    std::uint32_t worker = 0;
+    std::uint32_t emit_begin = 0, emit_end = 0;  // range in worker emissions
+    std::uint32_t collector = kNoCollectorRecord;
+    bool delivered = false;
+    bool changed = false;
+  };
+  // Share-nothing per-worker state, reused across rounds.
+  struct WorkerState {
+    PathStager stager;
+    net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_overlay;
+    net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> collector_overlay;
+    std::vector<StagedEmission> emissions;
+    std::vector<StagedCollector> collector_records;
+    double busy_seconds = 0.0;
+  };
+  // A destination-speaker shard assignment for one round: `indices` are
+  // positions into the round buffer, grouped by destination, seq-ordered
+  // within each group.
+  struct RoundGroup {
+    Speaker* to = nullptr;
+    bool is_collector = false;
+    std::uint32_t begin = 0, end = 0;  // range in round_order_
+  };
+
   // Queues this speaker's current exports for `prefix` toward all
   // sessions, suppressing duplicates.
   void flush_exports(Speaker& from, const net::Prefix& prefix);
@@ -170,31 +261,58 @@ class BgpNetwork {
   // Records the collector view of `peer` for `prefix` if it changed.
   void record_collector(net::Asn peer, const net::Prefix& prefix);
 
-  void enqueue(net::Asn from, net::Asn to, UpdateMessage update);
+  void enqueue(net::Asn from, net::Asn to, const UpdateMessage& update);
+
+  // Serial delivery of one message (the reference semantics).
+  void deliver(const PendingMessage& msg, ConvergenceStats& stats);
+
+  // Parallel round: shard by destination, stage, merge canonically.
+  void run_round_parallel(ConvergenceStats& stats);
+
+  // Worker phase for one message; stages effects instead of mutating
+  // shared state.
+  void stage_message(const PendingMessage& msg, const RoundGroup& group,
+                     WorkerState& worker, MessageEffects& effects);
+  void stage_flush(Speaker& from, const net::Prefix& prefix,
+                   WorkerState& worker);
+  void stage_collector(const Speaker& peer, const net::Prefix& prefix,
+                       WorkerState& worker, MessageEffects& effects);
 
   // Removes queued messages for `prefix` crossing the (a, b) session in
   // either direction (they died with the session).
   void drop_in_flight(net::Asn a, net::Asn b, const net::Prefix& prefix);
 
-  net::SimTime edge_delay(net::Asn from, net::Asn to);
+  net::SimTime edge_delay(net::Asn from, net::Asn to, const net::Prefix& prefix,
+                          std::uint32_t flow_index) const;
+
+  runtime::ThreadPool* pool();
 
   net::SimClock clock_;
-  net::Rng rng_;
+  std::uint64_t seed_;
   PathTable paths_;  // must outlive speakers_ (they hold a pointer to it)
   std::vector<std::unique_ptr<Speaker>> speakers_;  // stable addresses
   net::FlatMap<net::Asn, std::size_t> index_;
   std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
       queue_;
   std::uint64_t next_seq_ = 0;
-  // BGP sessions are TCP streams: updates on one session must never
-  // overtake each other. Tracks the latest scheduled delivery per directed
-  // edge so later messages are clamped behind earlier ones.
-  net::FlatMap<std::uint64_t, net::SimTime> edge_last_delivery_;
+  net::FlatMap<EdgePrefixKey, EdgeFlowState, EdgePrefixKeyHash> edge_flow_;
   net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
 
   net::FlatSet<net::Asn> collector_peers_;
   net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> collector_sent_;
   UpdateLog log_;
+
+  // Round-parallel engine state (scratch reused across rounds).
+  std::size_t requested_workers_ = 1;
+  runtime::ThreadPool* borrowed_pool_ = nullptr;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  std::vector<PendingMessage> round_;        // current round, seq order
+  std::vector<std::uint32_t> round_order_;   // positions grouped by dest
+  std::vector<RoundGroup> groups_;
+  std::vector<std::uint32_t> group_of_shard_;  // flattened shard -> groups
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> shard_ranges_;
+  std::vector<MessageEffects> effects_;
+  std::vector<WorkerState> worker_states_;
 
   // Snapshots for reporting per-run probe-stat deltas in ConvergenceStats.
   std::uint64_t reported_lookups_ = 0;

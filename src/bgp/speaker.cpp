@@ -86,6 +86,13 @@ bool Speaker::receive(net::Asn neighbor, const UpdateMessage& update,
   if (session_failed(neighbor, update.prefix)) return false;
   auto& state = rib_[update.prefix];
   state.prefix = update.prefix;
+  // First touch of this prefix: size the Adj-RIB-In for the number of
+  // neighbors that could ever advertise it (capped — hub ASes with
+  // hundreds of sessions rarely hear a prefix from more than a few dozen)
+  // so the first convergence wave doesn't rehash per insert.
+  if (state.in.empty()) {
+    state.in.reserve(std::min(sessions_.size(), std::size_t{48}));
+  }
 
   if (update.withdraw) {
     const auto it = state.in.find(neighbor);
@@ -277,7 +284,7 @@ Speaker::ExportProbe Speaker::export_probe(const net::Prefix& prefix) const {
 }
 
 std::optional<UpdateMessage> Speaker::ExportProbe::announcement(
-    const Session& to) const {
+    const Session& to, PathStager* stager) const {
   if (state_ == nullptr || !valid_) return std::nullopt;
   const Route& best = *state_->best;
   const Speaker& s = *speaker_;
@@ -309,12 +316,16 @@ std::optional<UpdateMessage> Speaker::ExportProbe::announcement(
   msg.re_only = best.re_only;
   const std::size_t copies = 1 + s.export_.prepends_for(to);
   if (copies != cached_copies_) {
-    cached_path_ = s.paths_->prepended(best.path, s.asn_, copies);
+    cached_path_ = stager != nullptr
+                       ? stager->prepended(best.path, s.asn_, copies)
+                       : s.paths_->prepended(best.path, s.asn_, copies);
     cached_copies_ = copies;
   }
   msg.path = cached_path_;
   if (s.export_.has_path_filters() &&
-      !s.export_.path_allowed(to.neighbor, s.paths_->span(msg.path))) {
+      !s.export_.path_allowed(to.neighbor, stager != nullptr
+                                               ? stager->span(msg.path)
+                                               : s.paths_->span(msg.path))) {
     return std::nullopt;
   }
   return msg;

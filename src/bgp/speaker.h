@@ -174,7 +174,12 @@ class Speaker {
   // (sessions overwhelmingly share one prepend count).
   class ExportProbe {
    public:
-    std::optional<UpdateMessage> announcement(const Session& to) const;
+    // `stager` routes export-side prepend interning: null means direct
+    // table interning (the serial path); a staging PathStager keeps the
+    // shared table read-only and may hand back pending ids (the
+    // round-parallel worker phase — see network.h).
+    std::optional<UpdateMessage> announcement(const Session& to,
+                                              PathStager* stager = nullptr) const;
 
    private:
     friend class Speaker;

@@ -33,6 +33,7 @@ ExperimentResult ExperimentController::run() {
   net::Rng rng(config_.seed);
   bgp::BgpNetwork network(config_.seed ^ 0x5eedULL);
   ecosystem_.build_network(network);
+  network.set_workers(config_.intra_workers);
 
   // Week-specific connectivity churn: a handful of members lose their
   // primary R&E session for this experiment's duration (provider or

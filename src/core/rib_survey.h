@@ -2,10 +2,18 @@
 // RouteViews / RIPE RIS RIB files (Table 4) and from RIPE's own view
 // (Figure 5).
 //
-// Member prefixes are swept through the network one origin at a time
-// (announce -> converge -> read vantage RIBs -> withdraw -> clear), which
+// Member prefixes are swept through the network in small batches
+// (announce a batch -> converge -> read vantage RIBs -> clear), which
 // keeps memory flat: prefixes of one origin share announcement policy, so
-// a single representative propagation is exact for all of them.
+// a single representative propagation is exact for all of them. Batching
+// several origins per convergence is exact too: every origin announces a
+// distinct prefix, and edge delays are a pure function of (seed, edge,
+// prefix, per-flow message index) — see BgpNetwork::edge_delay — so one
+// prefix's timeline is unaffected by the others sharing the queue; only
+// the constant announce-time offset differs, and the decision process
+// compares route ages relatively within a prefix. Batches also fill
+// propagation rounds, which is what the round-sharded parallel engine
+// needs to spread work across threads.
 #pragma once
 
 #include <cstdint>
@@ -43,9 +51,21 @@ struct RibSurveyResult {
   mutable std::unordered_map<std::uint32_t, std::size_t> index_;
 };
 
+struct RibSurveyOptions {
+  // Member origins propagated per announce -> converge -> clear cycle.
+  // Any value produces bit-identical per-origin views (see above); larger
+  // batches amortize convergence rounds, at the cost of proportionally
+  // more transient RIB state held at once. 0 is treated as 1.
+  std::size_t batch_size = 8;
+  // Round-sharding width inside the survey network (1 = serial); the
+  // survey owns its network, so intra-network workers are safe here.
+  std::size_t workers = 1;
+};
+
 // Runs the sweep over every member origin. Building the network and
 // propagating ~2.6K origins takes tens of seconds at paper scale.
 RibSurveyResult run_rib_survey(const topo::Ecosystem& ecosystem,
-                               std::uint64_t seed = 4242);
+                               std::uint64_t seed = 4242,
+                               RibSurveyOptions options = {});
 
 }  // namespace re::core

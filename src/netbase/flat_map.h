@@ -19,6 +19,7 @@
 // with the std containers.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -153,6 +154,16 @@ class FlatMap {
     used_ = 0;
   }
 
+  // Removes every element but keeps the table allocated at its current
+  // capacity — for scratch maps that refill to a similar size every
+  // iteration (clear() would force a re-grow from 16 slots each time).
+  void reset() {
+    std::fill(states_.begin(), states_.end(), SlotState::kEmpty);
+    std::fill(slots_.begin(), slots_.end(), value_type{});
+    size_ = 0;
+    used_ = 0;
+  }
+
   void reserve(std::size_t count) {
     std::size_t capacity = 16;
     while (capacity * 3 < count * 4) capacity *= 2;  // target load <= 0.75
@@ -174,6 +185,23 @@ class FlatMap {
     return find_slot(key) == kNotFound ? 0 : 1;
   }
   bool contains(const Key& key) const { return count(key) != 0; }
+
+  // Lookup that skips the (mutable) probe counters, so concurrent readers
+  // never write to shared state. Safe to call from multiple threads while
+  // no thread mutates the table; such lookups are invisible to
+  // probe_stats().
+  const T* find_concurrent(const Key& key) const noexcept {
+    if (states_.empty()) return nullptr;
+    std::size_t index = Hash{}(key) & mask();
+    while (true) {
+      const SlotState state = states_[index];
+      if (state == SlotState::kEmpty) return nullptr;
+      if (state == SlotState::kFull && slots_[index].first == key) {
+        return &slots_[index].second;
+      }
+      index = (index + 1) & mask();
+    }
+  }
 
   T& operator[](const Key& key) {
     return slots_[insert_slot(key)].second;

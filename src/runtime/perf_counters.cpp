@@ -15,6 +15,13 @@ double PerfCounters::avg_probe_length() const noexcept {
   return static_cast<double>(map_probes) / static_cast<double>(map_lookups);
 }
 
+double PerfCounters::shard_balance() const noexcept {
+  if (shard_peak_messages == 0 || intra_workers == 0) return 1.0;
+  return static_cast<double>(sharded_messages) /
+         (static_cast<double>(intra_workers) *
+          static_cast<double>(shard_peak_messages));
+}
+
 PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
   messages_delivered += other.messages_delivered;
   // Table/map gauges describe a network instance, not a delta: keep the
@@ -24,6 +31,13 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
   map_lookups += other.map_lookups;
   map_probes += other.map_probes;
   wall_seconds += other.wall_seconds;
+  rounds += other.rounds;
+  parallel_rounds += other.parallel_rounds;
+  sharded_messages += other.sharded_messages;
+  shard_peak_messages += other.shard_peak_messages;
+  barrier_wait_seconds += other.barrier_wait_seconds;
+  merge_seconds += other.merge_seconds;
+  if (other.intra_workers > intra_workers) intra_workers = other.intra_workers;
   return *this;
 }
 
@@ -36,7 +50,18 @@ std::string PerfCounters::summary() const {
                 messages_per_sec() / 1e6,
                 static_cast<unsigned long long>(interned_paths),
                 static_cast<double>(arena_bytes) / 1024.0, avg_probe_length());
-  return buffer;
+  std::string out = buffer;
+  if (parallel_rounds > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  ", %llu/%llu rounds sharded x%llu (balance %.2f,"
+                  " barrier %.2fs, merge %.2fs)",
+                  static_cast<unsigned long long>(parallel_rounds),
+                  static_cast<unsigned long long>(rounds),
+                  static_cast<unsigned long long>(intra_workers),
+                  shard_balance(), barrier_wait_seconds, merge_seconds);
+    out += buffer;
+  }
+  return out;
 }
 
 std::size_t peak_rss_bytes() {

@@ -22,11 +22,27 @@ struct PerfCounters {
   std::uint64_t map_probes = 0;      // total probe steps across lookups
   double wall_seconds = 0.0;
 
+  // Round-sharded propagation (see BgpNetwork::set_workers). Serial runs
+  // leave everything but `rounds` at zero.
+  std::uint64_t rounds = 0;             // simulated-time ticks processed
+  std::uint64_t parallel_rounds = 0;    // rounds that took the sharded path
+  std::uint64_t sharded_messages = 0;   // messages delivered by sharded rounds
+  std::uint64_t shard_peak_messages = 0;  // sum of per-round max shard loads
+  double barrier_wait_seconds = 0.0;    // shard idle time at round barriers
+  double merge_seconds = 0.0;           // serial canonical-merge time
+  std::uint64_t intra_workers = 1;      // round-sharding width of the run
+
   double messages_per_sec() const noexcept;
 
   // Average open-addressing probe length (1.0 = every lookup hit its
   // home slot; healthy tables stay below ~1.5).
   double avg_probe_length() const noexcept;
+
+  // How evenly sharded rounds split their messages: delivered messages
+  // over perfect-split capacity (workers x per-round peak shard load).
+  // 1.0 = every shard carried the same load; 1/workers = one shard
+  // carried everything. 1.0 when no round was sharded.
+  double shard_balance() const noexcept;
 
   PerfCounters& operator+=(const PerfCounters& other) noexcept;
 

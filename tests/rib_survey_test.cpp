@@ -169,6 +169,44 @@ TEST_F(RibSurveyFixture, SurveyIsDeterministic) {
   }
 }
 
+TEST_F(RibSurveyFixture, BatchedSweepMatchesOneAtATime) {
+  // Batching several member origins per convergence cycle (and sharding
+  // rounds across workers) is a pure throughput optimization: every
+  // origin announces a distinct prefix and edge delays are prefix-local
+  // functions of the seed, so per-origin views must be bit-identical to
+  // the one-at-a-time sweep.
+  auto flatten = [](const RibSurveyResult& survey) {
+    std::vector<std::string> out;
+    for (const OriginRibView& v : survey.origins) {
+      std::string line = v.origin.to_string();
+      line += '|';
+      line += v.re_prepends ? std::to_string(*v.re_prepends) : "-";
+      line += '|';
+      line += v.comm_prepends ? std::to_string(*v.comm_prepends) : "-";
+      line += '|';
+      line += v.ripe_has_route ? (v.ripe_via_re ? "re" : "comm") : "none";
+      line += '|';
+      line += v.ripe_first_hop.to_string();
+      out.push_back(std::move(line));
+    }
+    return out;
+  };
+
+  RibSurveyOptions solo;
+  solo.batch_size = 1;
+  const auto one_at_a_time =
+      flatten(run_rib_survey(world().ecosystem, 4242, solo));
+
+  RibSurveyOptions batched;
+  batched.batch_size = 12;
+  EXPECT_EQ(one_at_a_time, flatten(run_rib_survey(world().ecosystem, 4242, batched)));
+
+  RibSurveyOptions sharded;
+  sharded.batch_size = 12;
+  sharded.workers = 4;
+  EXPECT_EQ(one_at_a_time, flatten(run_rib_survey(world().ecosystem, 4242, sharded)));
+}
+
 TEST(PrependClassStrings, HumanReadable) {
   EXPECT_EQ(to_string(PrependClass::kEqual), "R=C");
   EXPECT_EQ(to_string(PrependClass::kMoreToComm), "R<C");
