@@ -24,28 +24,79 @@ int main() {
   const std::vector<core::PrependConfig> naive = {
       {0, 2}, {3, 0}, {0, 0}, {0, 4}, {1, 0}, {0, 1}, {4, 0}, {0, 3}, {2, 0}};
 
-  auto run_with = [&](const std::vector<core::PrependConfig>& schedule) {
+  auto config_with = [](const std::vector<core::PrependConfig>& schedule) {
     core::ExperimentConfig config;
     config.experiment = core::ReExperiment::kInternet2;
     config.schedule = schedule;
     config.seed = 502;
     config.auto_plant_outages = false;  // isolate the ordering effect
-    return core::classify_experiment(
-        core::ExperimentController(world.ecosystem, world.selection.seeds,
-                                   config)
-            .run());
+    return config;
   };
 
   // The two orderings are independent experiments — run both concurrently.
   runtime::ThreadPool pool;
-  std::vector<core::PrefixInference> paper, shuffled;
+  core::ExperimentResult paper_cold, shuffled_cold;
   timer.timed(
       "orderings",
       [&] {
-        pool.run_batch({[&] { paper = run_with(core::paper_schedule()); },
-                        [&] { shuffled = run_with(naive); }});
+        pool.run_batch(
+            {[&] {
+               paper_cold = core::ExperimentController(
+                                world.ecosystem, world.selection.seeds,
+                                config_with(core::paper_schedule()))
+                                .run();
+             },
+             [&] {
+               shuffled_cold = core::ExperimentController(
+                                   world.ecosystem, world.selection.seeds,
+                                   config_with(naive))
+                                   .run();
+             }});
       },
       pool.thread_count());
+
+  // Warm pass. The two schedules open with different R&E prepend levels
+  // (4-0 vs 0-2), so their baselines differ: the paper ordering forks the
+  // checkpoint, the shuffled one is incompatible and run(base) falls back
+  // to a cold run — both still digest-identical to the cold pass.
+  core::ExperimentController::BaselineCheckpoint base;
+  timer.timed("baseline_checkpoint", [&] {
+    base = core::ExperimentController(world.ecosystem, world.selection.seeds,
+                                      config_with(core::paper_schedule()))
+               .checkpoint_baseline();
+  });
+  core::ExperimentResult paper_warm, shuffled_warm;
+  timer.timed(
+      "orderings_warm",
+      [&] {
+        pool.run_batch(
+            {[&] {
+               paper_warm = core::ExperimentController(
+                                world.ecosystem, world.selection.seeds,
+                                config_with(core::paper_schedule()))
+                                .run(base);
+             },
+             [&] {
+               shuffled_warm = core::ExperimentController(
+                                   world.ecosystem, world.selection.seeds,
+                                   config_with(naive))
+                                   .run(base);
+             }});
+      },
+      pool.thread_count());
+  if (core::result_digest(paper_cold) != core::result_digest(paper_warm) ||
+      core::result_digest(shuffled_cold) !=
+          core::result_digest(shuffled_warm)) {
+    std::printf("FAIL: fork-vs-fresh digest mismatch\n");
+    return 1;
+  }
+  std::printf("warm start: forked (paper order) and fallback (shuffled"
+              " order) runs digest-identical to cold runs\n\n");
+
+  const std::vector<core::PrefixInference> paper =
+      core::classify_experiment(paper_cold);
+  const std::vector<core::PrefixInference> shuffled =
+      core::classify_experiment(shuffled_cold);
 
   // How are the *planted equal-localpref* ASes classified under each order?
   auto tally = [&](const std::vector<core::PrefixInference>& inferences) {

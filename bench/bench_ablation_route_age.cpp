@@ -94,23 +94,74 @@ int main() {
   // Four independent experiments (two variants x two experiments) — run
   // them as one flat batch on the pool.
   runtime::ThreadPool pool;
-  std::vector<core::PrefixInference> runs[4];
+  const topo::Ecosystem* ecos[2] = {&world.ecosystem, &stripped};
+  const core::ReExperiment whichs[2] = {core::ReExperiment::kSurf,
+                                        core::ReExperiment::kInternet2};
+  core::ExperimentResult cold_runs[4];
   timer.timed(
       "variants",
       [&] {
-        const topo::Ecosystem* ecos[2] = {&world.ecosystem, &stripped};
-        const core::ReExperiment whichs[2] = {core::ReExperiment::kSurf,
-                                              core::ReExperiment::kInternet2};
         std::vector<std::function<void()>> tasks;
         for (std::size_t i = 0; i < 4; ++i) {
           tasks.push_back([&, i] {
-            runs[i] = core::classify_experiment(
-                run_on(*ecos[i / 2], world, whichs[i % 2]));
+            cold_runs[i] = run_on(*ecos[i / 2], world, whichs[i % 2]);
           });
         }
         pool.run_batch(tasks);
       },
       pool.thread_count());
+
+  // Warm pass: one checkpoint per experiment on the planted ecosystem.
+  // The stripped-ecosystem runs hand run(base) an incompatible checkpoint
+  // (different ecosystem object) and fall back to cold runs — exercising
+  // the guard that keeps a fork from silently crossing worlds.
+  core::ExperimentController::BaselineCheckpoint bases[2];
+  timer.timed("baseline_checkpoint", [&] {
+    for (std::size_t e = 0; e < 2; ++e) {
+      core::ExperimentConfig config;
+      config.experiment = whichs[e];
+      config.seed = whichs[e] == core::ReExperiment::kSurf ? 501 : 502;
+      config.auto_plant_outages = false;
+      bases[e] = core::ExperimentController(world.ecosystem,
+                                            world.selection.seeds, config)
+                     .checkpoint_baseline();
+    }
+  });
+  core::ExperimentResult warm_runs[4];
+  timer.timed(
+      "variants_warm",
+      [&] {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < 4; ++i) {
+          tasks.push_back([&, i] {
+            core::ExperimentConfig config;
+            config.experiment = whichs[i % 2];
+            config.seed =
+                whichs[i % 2] == core::ReExperiment::kSurf ? 501 : 502;
+            config.auto_plant_outages = false;
+            warm_runs[i] = core::ExperimentController(*ecos[i / 2],
+                                                      world.selection.seeds,
+                                                      config)
+                               .run(bases[i % 2]);
+          });
+        }
+        pool.run_batch(tasks);
+      },
+      pool.thread_count());
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (core::result_digest(cold_runs[i]) !=
+        core::result_digest(warm_runs[i])) {
+      std::printf("FAIL: run %zu fork-vs-fresh digest mismatch\n", i);
+      return 1;
+    }
+  }
+  std::printf("warm start: 2 forked + 2 incompatible-fallback runs"
+              " digest-identical to cold runs\n\n");
+
+  std::vector<core::PrefixInference> runs[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    runs[i] = core::classify_experiment(cold_runs[i]);
+  }
 
   const ZeroOneSwitchers with_age =
       count_zero_one_switchers(world, runs[0], runs[1]);

@@ -30,30 +30,73 @@ int main() {
   // The three target-count variants reselect seeds and rerun the whole
   // experiment independently — batch them on the pool.
   const int target_counts[] = {1, 2, 3};
+  auto variant_config = [] {
+    core::ExperimentConfig config;
+    config.experiment = core::ReExperiment::kInternet2;
+    config.seed = 502;
+    config.auto_plant_outages = false;
+    return config;
+  };
   runtime::ThreadPool pool;
-  std::vector<std::map<core::Inference, std::size_t>> results(3);
+  std::vector<probing::SelectionResult> selections(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    selections[i] =
+        probing::select_probe_seeds(ecosystem, db, 11, target_counts[i]);
+  }
+  core::ExperimentResult cold_runs[3];
   timer.timed(
       "variants",
       [&] {
         std::vector<std::function<void()>> tasks;
         for (std::size_t i = 0; i < 3; ++i) {
           tasks.push_back([&, i] {
-            const probing::SelectionResult selection =
-                probing::select_probe_seeds(ecosystem, db, 11,
-                                            target_counts[i]);
-            core::ExperimentConfig config;
-            config.experiment = core::ReExperiment::kInternet2;
-            config.seed = 502;
-            config.auto_plant_outages = false;
-            const auto inferences = core::classify_experiment(
-                core::ExperimentController(ecosystem, selection.seeds, config)
-                    .run());
-            for (const auto& p : inferences) ++results[i][p.inference];
+            cold_runs[i] = core::ExperimentController(
+                               ecosystem, selections[i].seeds, variant_config())
+                               .run();
           });
         }
         pool.run_batch(tasks);
       },
       pool.thread_count());
+
+  // Warm pass: the §3.1 baseline never looks at the probe seeds, so all
+  // three seed selections can fork one checkpoint.
+  core::ExperimentController::BaselineCheckpoint base;
+  timer.timed("baseline_checkpoint", [&] {
+    base = core::ExperimentController(ecosystem, selections[2].seeds,
+                                      variant_config())
+               .checkpoint_baseline();
+  });
+  core::ExperimentResult warm_runs[3];
+  timer.timed(
+      "variants_warm",
+      [&] {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < 3; ++i) {
+          tasks.push_back([&, i] {
+            warm_runs[i] = core::ExperimentController(
+                               ecosystem, selections[i].seeds, variant_config())
+                               .run(base);
+          });
+        }
+        pool.run_batch(tasks);
+      },
+      pool.thread_count());
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (core::result_digest(cold_runs[i]) != core::result_digest(warm_runs[i])) {
+      std::printf("FAIL: variant %zu fork-vs-fresh digest mismatch\n", i);
+      return 1;
+    }
+  }
+  std::printf("warm start: all 3 forked variants digest-identical to cold"
+              " runs\n\n");
+
+  std::vector<std::map<core::Inference, std::size_t>> results(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (const auto& p : core::classify_experiment(cold_runs[i])) {
+      ++results[i][p.inference];
+    }
+  }
 
   std::printf("%-14s %10s %10s %10s %10s %10s\n", "targets/prefix",
               "always-re", "comm", "switch", "mixed", "loss");

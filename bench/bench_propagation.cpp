@@ -33,6 +33,7 @@
 
 #include "bench/timing.h"
 #include "bgp/network.h"
+#include "runtime/env.h"
 #include "runtime/perf_counters.h"
 #include "runtime/rng_streams.h"
 #include "runtime/thread_pool.h"
@@ -41,11 +42,9 @@
 namespace {
 
 std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return fallback;
+  // Validated: a malformed RE_PROP_* aborts instead of silently running
+  // the default configuration (see runtime/env.h).
+  return re::runtime::env_positive_size(name, fallback);
 }
 
 std::string suffixed(const char* base) {

@@ -14,17 +14,16 @@
 #include "bench/timing.h"
 #include "bench/world.h"
 #include "core/classifier.h"
+#include "runtime/env.h"
 #include "runtime/rng_streams.h"
 #include "runtime/thread_pool.h"
 
 namespace {
 
 std::size_t trial_count() {
-  if (const char* env = std::getenv("RE_TRIALS")) {
-    const long n = std::atol(env);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
-  return 16;
+  // Validated: RE_TRIALS=8garbage used to silently run 8 trials; now a
+  // malformed value aborts (see runtime/env.h).
+  return re::runtime::env_positive_size("RE_TRIALS", 16);
 }
 
 re::core::Table1 run_trial(const re::bench::World& world, std::uint64_t master,
@@ -154,5 +153,82 @@ int main() {
   std::printf("Always R&E prefix share across trials: mean %.1f%%"
               " min %.1f%% max %.1f%% (spread %.1f pts)\n",
               sum / static_cast<double>(trials), lo, hi, hi - lo);
+
+  // ---- warm-start (checkpoint + fork) trial study ------------------------
+  // The fork engine pays off when the shared baseline dominates a trial,
+  // which is the realistic configuration: a full internet-like RIB
+  // converged once (full_rib_baseline), then N trials forking it. Runs on
+  // a small fixed-scale world so the full-RIB convergence stays tractable
+  // inside a bench.
+  {
+    const std::size_t warm_trials =
+        runtime::env_positive_size("RE_WARM_TRIALS", 4);
+    topo::EcosystemParams params = topo::EcosystemParams{}.scaled(0.05);
+    params.seed = 20250529;
+    const topo::Ecosystem small_eco = topo::Ecosystem::generate(params);
+    const probing::SeedDatabase small_db =
+        probing::SeedDatabase::generate(small_eco, probing::SeedGenParams{});
+    const probing::SelectionResult small_sel =
+        probing::select_probe_seeds(small_eco, small_db, 11);
+    std::printf(
+        "\nwarm-start study: %zu full-RIB trials on a %zu-AS world\n",
+        warm_trials, small_eco.directory().size());
+
+    auto trial_config = [&](std::size_t trial) {
+      core::ExperimentConfig config;
+      config.experiment = core::ReExperiment::kInternet2;
+      config.seed = runtime::derive_stream_seed(master, trial);
+      // All trials share one baseline stream (and so one forkable
+      // baseline); per-trial randomness draws from the trial seed.
+      config.baseline_seed = master;
+      config.full_rib_baseline = true;
+      return config;
+    };
+
+    std::vector<core::ExperimentResult> cold_runs(warm_trials);
+    const double cold_seconds = wall([&] {
+      for (std::size_t trial = 0; trial < warm_trials; ++trial) {
+        cold_runs[trial] = core::ExperimentController(
+                               small_eco, small_sel.seeds, trial_config(trial))
+                               .run();
+      }
+    });
+    timer.record("fullrib_trials_cold", cold_seconds);
+
+    core::ExperimentController::BaselineCheckpoint base;
+    const double checkpoint_seconds = wall([&] {
+      base = core::ExperimentController(small_eco, small_sel.seeds,
+                                        trial_config(0))
+                 .checkpoint_baseline();
+    });
+    timer.record("fullrib_baseline_checkpoint", checkpoint_seconds);
+
+    std::vector<core::ExperimentResult> warm_runs(warm_trials);
+    const double warm_seconds = wall([&] {
+      for (std::size_t trial = 0; trial < warm_trials; ++trial) {
+        warm_runs[trial] = core::ExperimentController(
+                               small_eco, small_sel.seeds, trial_config(trial))
+                               .run(base);
+      }
+    });
+    timer.record("fullrib_trials_warm", warm_seconds);
+
+    for (std::size_t trial = 0; trial < warm_trials; ++trial) {
+      const std::uint64_t cold = core::result_digest(cold_runs[trial]);
+      const std::uint64_t warm = core::result_digest(warm_runs[trial]);
+      if (cold != warm) {
+        std::printf("FAIL: warm trial %zu digest mismatch"
+                    " cold=%016llx warm=%016llx\n",
+                    trial, static_cast<unsigned long long>(cold),
+                    static_cast<unsigned long long>(warm));
+        return 1;
+      }
+    }
+    std::printf(
+        "cold %.3fs, warm %.3fs after a %.3fs one-time checkpoint: %.2fx\n"
+        "all %zu forked trials digest-identical to cold runs\n",
+        cold_seconds, warm_seconds, checkpoint_seconds,
+        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0, warm_trials);
+  }
   return 0;
 }

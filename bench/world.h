@@ -11,16 +11,19 @@
 #include "core/classifier.h"
 #include "core/experiment.h"
 #include "probing/seeds.h"
+#include "runtime/env.h"
 #include "topology/ecosystem.h"
 
 namespace re::bench {
 
 inline double bench_scale() {
-  if (const char* env = std::getenv("RE_SCALE")) {
-    const double scale = std::atof(env);
-    if (scale > 0 && scale <= 1.0) return scale;
+  const double scale = runtime::env_positive_double("RE_SCALE", 1.0);
+  if (scale > 1.0) {
+    std::fprintf(stderr, "RE_SCALE=%g out of range: must be in (0, 1]\n",
+                 scale);
+    std::exit(2);
   }
-  return 1.0;
+  return scale;
 }
 
 struct World {
@@ -43,14 +46,32 @@ inline World make_world() {
   return world;
 }
 
-inline core::ExperimentResult run_experiment(const World& world,
-                                             core::ReExperiment which) {
+// The canonical bench config: one fixed seed per experiment so every
+// bench binary reproduces the same two worlds.
+inline core::ExperimentConfig experiment_config(core::ReExperiment which) {
   core::ExperimentConfig config;
   config.experiment = which;
   config.seed = which == core::ReExperiment::kSurf ? 501 : 502;
+  return config;
+}
+
+inline core::ExperimentResult run_experiment(const World& world,
+                                             core::ReExperiment which) {
+  return core::ExperimentController(world.ecosystem, world.selection.seeds,
+                                    experiment_config(which))
+      .run();
+}
+
+// Captures the §3.1 baseline for `config` once, so a sweep of variants
+// sharing that baseline can fork it instead of re-converging per run
+// (warm start). Any controller whose config reproduces the same baseline
+// (see ExperimentController::compatible) may run from the checkpoint;
+// its result digest is bit-identical to a cold run.
+inline core::ExperimentController::BaselineCheckpoint checkpoint_baseline(
+    const World& world, const core::ExperimentConfig& config) {
   return core::ExperimentController(world.ecosystem, world.selection.seeds,
                                     config)
-      .run();
+      .checkpoint_baseline();
 }
 
 inline void print_paper_note(const char* what) {

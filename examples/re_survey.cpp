@@ -7,17 +7,25 @@
 // the way the paper's tooling emits JSON results.
 //
 // usage: re_survey [--scale S] [--seed N] [--json FILE] [--max-lines N]
-//                  [--threads N]
+//                  [--threads N] [--checkpoint DIR] [--resume]
+//                  [--abort-after-round N]
 //
 // --threads sets the probing worker count (default: RE_THREADS or the
 // hardware concurrency). The per-prefix probing phase shards across the
 // pool; results are bit-identical for every thread count.
+//
+// --checkpoint DIR saves the full survey state to DIR after every probing
+// round; a later run with the same flags plus --resume continues from the
+// last saved round and prints the same result digests as an uninterrupted
+// run. --abort-after-round N exits right after round N's checkpoint (the
+// kill simulation CI uses to test resume).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "analysis/report.h"
+#include "io/snapshot_io.h"
 #include "core/classifier.h"
 #include "core/comparator.h"
 #include "core/experiment.h"
@@ -35,6 +43,9 @@ struct Options {
   std::string json_path;
   std::size_t max_lines = 0;  // 0 = unlimited
   std::size_t threads = re::runtime::ThreadPool::default_thread_count();
+  std::string checkpoint_dir;
+  bool resume = false;
+  int abort_after_round = -1;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -53,10 +64,17 @@ Options parse_options(int argc, char** argv) {
       options.max_lines = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (has_value("--threads")) {
       options.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (has_value("--checkpoint")) {
+      options.checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+    } else if (has_value("--abort-after-round")) {
+      options.abort_after_round = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: re_survey [--scale S] [--seed N] [--json FILE]"
-                   " [--max-lines N] [--threads N]\n");
+                   " [--max-lines N] [--threads N] [--checkpoint DIR]"
+                   " [--resume] [--abort-after-round N]\n");
       std::exit(2);
     }
   }
@@ -85,9 +103,22 @@ int main(int argc, char** argv) {
 
   runtime::ThreadPool pool(options.threads);
 
+  // Round-level disk checkpoints: one key per experiment, shared dir. A
+  // resumed run reloads the last round and continues; digests match the
+  // uninterrupted run's.
+  io::FileCheckpointStore store(options.checkpoint_dir.empty()
+                                    ? "."
+                                    : options.checkpoint_dir);
+  core::CheckpointStore* checkpoints =
+      options.checkpoint_dir.empty() ? nullptr : &store;
+
   core::ExperimentConfig surf_config;
   surf_config.experiment = core::ReExperiment::kSurf;
   surf_config.seed = options.seed ^ 501;
+  surf_config.checkpoint_store = checkpoints;
+  surf_config.checkpoint_key = "surf";
+  surf_config.resume = options.resume;
+  surf_config.abort_after_round = options.abort_after_round;
   const core::ExperimentResult surf_result =
       core::ExperimentController(ecosystem, selection.seeds, surf_config, &pool)
           .run();
@@ -95,9 +126,24 @@ int main(int argc, char** argv) {
   core::ExperimentConfig i2_config;
   i2_config.experiment = core::ReExperiment::kInternet2;
   i2_config.seed = options.seed ^ 502;
+  i2_config.checkpoint_store = checkpoints;
+  i2_config.checkpoint_key = "i2";
+  i2_config.resume = options.resume;
+  i2_config.abort_after_round = options.abort_after_round;
   const core::ExperimentResult i2_result =
       core::ExperimentController(ecosystem, selection.seeds, i2_config, &pool)
           .run();
+
+  if (options.abort_after_round >= 0) {
+    std::printf("aborted after round %d (checkpoints saved); rerun with"
+                " --resume to finish\n",
+                options.abort_after_round);
+    return 0;
+  }
+
+  std::printf("result digests: surf=%016llx i2=%016llx\n\n",
+              static_cast<unsigned long long>(core::result_digest(surf_result)),
+              static_cast<unsigned long long>(core::result_digest(i2_result)));
 
   const auto surf = core::classify_experiment(surf_result);
   const auto i2 = core::classify_experiment(i2_result);

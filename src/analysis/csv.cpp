@@ -78,12 +78,13 @@ std::string switch_cdf_csv(const core::SwitchCdf& cdf) {
 
 std::string timeline_csv(const core::Figure3& figure) {
   CsvWriter csv({"config", "config_applied", "probe_start", "probe_end",
-                 "updates_after_change", "quiet_before_probe"});
+                 "updates_after_change", "quiet_before_probe", "converged"});
   for (const core::TimelineWindow& w : figure.windows) {
     csv.add_row({w.config_label, std::to_string(w.config_applied),
                  std::to_string(w.probe_start), std::to_string(w.probe_end),
                  std::to_string(w.updates_after_change),
-                 std::to_string(w.quiet_before_probe)});
+                 std::to_string(w.quiet_before_probe),
+                 w.converged ? "1" : "0"});
   }
   return csv.str();
 }

@@ -35,6 +35,27 @@ class DampingState {
 
   double penalty_at(net::SimTime now, const DampingConfig& config) const;
 
+  // Checkpoint support: the full mutable state as plain data, so a
+  // network snapshot can capture and restore damping exactly (the decay
+  // math depends on last_update_, not just the current penalty).
+  struct Raw {
+    double penalty = 0.0;
+    net::SimTime last_update = 0;
+    bool suppressed = false;
+    net::SimTime suppressed_since = 0;
+  };
+  Raw raw() const noexcept {
+    return {penalty_, last_update_, suppressed_, suppressed_since_};
+  }
+  static DampingState from_raw(const Raw& raw) noexcept {
+    DampingState state;
+    state.penalty_ = raw.penalty;
+    state.last_update_ = raw.last_update;
+    state.suppressed_ = raw.suppressed;
+    state.suppressed_since_ = raw.suppressed_since;
+    return state;
+  }
+
  private:
   double penalty_ = 0.0;
   net::SimTime last_update_ = 0;

@@ -344,11 +344,15 @@ ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
     }
   }
   stats.converged_at = clock_.now();
+  stats.fully_converged = queue_.empty();
 
   stats.perf.messages_delivered = stats.messages_delivered;
   stats.perf.interned_paths = paths_.size();
   stats.perf.arena_bytes = paths_.arena_bytes();
   stats.perf.intra_workers = width;
+  stats.perf.checkpoints = checkpoints_;
+  stats.perf.forks = forked_ ? 1 : 0;
+  stats.perf.arena_shared_bytes = paths_.frozen_bytes();
   // Probe-length deltas over the network-level flat maps for this run.
   std::uint64_t lookups = 0, probes = 0;
   const auto add = [&](const auto& s) {

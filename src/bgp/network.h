@@ -51,7 +51,13 @@ namespace re::bgp {
 struct ConvergenceStats {
   std::size_t messages_delivered = 0;
   std::size_t best_changes = 0;
+  // Simulated time of the last delivered update in this run. Only a full
+  // convergence timestamp when fully_converged is also set: a deadlined
+  // run_until() reports when it *stopped delivering*, not when the
+  // network settled (it didn't).
   net::SimTime converged_at = 0;
+  // True when the queue drained (no updates remain in flight).
+  bool fully_converged = false;
   // Hot-path counters for this run (gauges like interned_paths/arena_bytes
   // are whole-network snapshots; counters are deltas for this run).
   runtime::PerfCounters perf;
@@ -155,6 +161,30 @@ class BgpNetwork {
   }
   UpdateLog& update_log() noexcept { return log_; }
   const UpdateLog& update_log() const noexcept { return log_; }
+
+  // --- Checkpoint / fork ----------------------------------------------------
+
+  // The full network state at a point in time: speakers (RIBs, policies,
+  // damping), in-flight messages, per-edge FIFO clamps and duplicate
+  // suppression, collector log, clock — with all AS paths held in a
+  // frozen, shared PathTable base. Defined after the class.
+  struct Snapshot;
+
+  // Captures the current state. Freezes the path table first, so the
+  // snapshot (and every fork made from it) *shares* the interned arena
+  // with this network instead of copying it: a checkpoint is O(live
+  // state), not O(propagation history). Freezing preserves every PathId,
+  // so taking a checkpoint never perturbs subsequent results.
+  Snapshot checkpoint();
+
+  // Replaces this network's state with the snapshot's (the clock rewinds
+  // to the snapshot time). Worker configuration is kept.
+  void restore(const Snapshot& snap);
+
+  // Content digest over the canonical serialization of the full state.
+  // The bit-identity contract: a forked run and a fresh run that executed
+  // the same schedule produce equal digests, at any worker count.
+  std::uint64_t state_digest();
 
   // --- Maintenance -----------------------------------------------------------
 
@@ -317,6 +347,44 @@ class BgpNetwork {
   // Snapshots for reporting per-run probe-stat deltas in ConvergenceStats.
   std::uint64_t reported_lookups_ = 0;
   std::uint64_t reported_probes_ = 0;
+
+  // Checkpoint/fork provenance, surfaced through ConvergenceStats::perf.
+  std::uint64_t checkpoints_ = 0;  // snapshots taken from this network
+  bool forked_ = false;            // this network was restored from one
 };
+
+// The captured state. Holds plain copies of everything mutable except AS
+// paths, which live in the shared frozen base: forks created from one
+// snapshot — and the network that produced it — all point at the same
+// immutable arena, extending it privately and append-only.
+struct BgpNetwork::Snapshot {
+  std::uint64_t seed = 0;
+  net::SimTime now = 0;
+  std::shared_ptr<const PathTable::Frozen> paths;
+  std::vector<Speaker::Snapshot> speakers;  // in add_speaker order
+  std::vector<PendingMessage> queue;        // sorted by (deliver_at, seq)
+  std::uint64_t next_seq = 0;
+  net::FlatMap<EdgePrefixKey, EdgeFlowState, EdgePrefixKeyHash> edge_flow;
+  net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent;
+  net::FlatSet<net::Asn> collector_peers;
+  net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> collector_sent;
+  UpdateLog log;
+
+  // A new network in exactly this state, sharing the frozen path arena
+  // with every sibling fork. Safe to call concurrently from multiple
+  // threads on one snapshot (the snapshot is never mutated).
+  std::unique_ptr<BgpNetwork> fork() const;
+
+  // Canonical little-endian serialization (sorted map walks, paths in id
+  // order), so equal states produce equal bytes.
+  void encode(net::BinaryWriter& writer) const;
+  static Snapshot decode(net::BinaryReader& reader);
+
+  // Hash of the canonical serialization.
+  std::uint64_t digest() const;
+};
+
+// The name the experiment layer uses (see core/experiment.h).
+using NetworkSnapshot = BgpNetwork::Snapshot;
 
 }  // namespace re::bgp

@@ -1,0 +1,298 @@
+// BgpNetwork checkpoint/fork engine (see the Snapshot declaration in
+// network.h and DESIGN.md §5d).
+//
+// A checkpoint freezes the network's PathTable into an immutable shared
+// base and copies the remaining live state: speaker snapshots, the
+// in-flight message queue, per-edge FIFO clamps and duplicate-suppression
+// maps, and the collector log. Forks restore that state into fresh
+// networks that extend the shared arena privately, so N variant runs off
+// one converged baseline cost one baseline convergence plus N deltas.
+//
+// Serialization is canonical: maps are walked in sorted key order and the
+// path table is written in id order, so equal states produce equal bytes
+// and the digest doubles as the fork-vs-fresh bit-identity check.
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bgp/network.h"
+#include "netbase/binio.h"
+
+namespace re::bgp {
+
+BgpNetwork::Snapshot BgpNetwork::checkpoint() {
+  Snapshot snap;
+  snap.seed = seed_;
+  snap.now = clock_.now();
+  snap.paths = paths_.freeze();
+  snap.speakers.reserve(speakers_.size());
+  for (const auto& speaker : speakers_) {
+    snap.speakers.push_back(speaker->snapshot());
+  }
+  auto queue_copy = queue_;  // drain a copy: entries come out (time, seq)
+  snap.queue.reserve(queue_copy.size());
+  while (!queue_copy.empty()) {
+    snap.queue.push_back(queue_copy.top());
+    queue_copy.pop();
+  }
+  snap.next_seq = next_seq_;
+  snap.edge_flow = edge_flow_;
+  snap.sent = sent_;
+  snap.collector_peers = collector_peers_;
+  snap.collector_sent = collector_sent_;
+  snap.log = log_;
+  ++checkpoints_;
+  return snap;
+}
+
+void BgpNetwork::restore(const Snapshot& snap) {
+  seed_ = snap.seed;
+  clock_ = net::SimClock(snap.now);
+  paths_ = PathTable(snap.paths);
+  speakers_.clear();
+  index_.clear();
+  for (const Speaker::Snapshot& speaker : snap.speakers) {
+    add_speaker(speaker.asn).restore(speaker);
+  }
+  queue_ = {};
+  for (const PendingMessage& msg : snap.queue) queue_.push(msg);
+  next_seq_ = snap.next_seq;
+  edge_flow_ = snap.edge_flow;
+  sent_ = snap.sent;
+  collector_peers_ = snap.collector_peers;
+  collector_sent_ = snap.collector_sent;
+  log_ = snap.log;
+  forked_ = true;
+  // Rebase the probe-stat delta baselines on the restored maps' carried
+  // counters, so the next run reports only its own lookups.
+  std::uint64_t lookups = 0, probes = 0;
+  const auto add = [&](const auto& stats) {
+    lookups += stats.lookups;
+    probes += stats.probes;
+  };
+  add(index_.probe_stats());
+  add(edge_flow_.probe_stats());
+  add(sent_.probe_stats());
+  add(collector_sent_.probe_stats());
+  add(collector_peers_.probe_stats());
+  reported_lookups_ = lookups;
+  reported_probes_ = probes;
+}
+
+std::uint64_t BgpNetwork::state_digest() { return checkpoint().digest(); }
+
+std::unique_ptr<BgpNetwork> BgpNetwork::Snapshot::fork() const {
+  auto network = std::make_unique<BgpNetwork>(seed);
+  network->restore(*this);
+  return network;
+}
+
+namespace {
+
+void encode_prefix(net::BinaryWriter& w, const net::Prefix& prefix) {
+  w.u32(prefix.network().value());
+  w.u8(prefix.length());
+}
+net::Prefix decode_prefix(net::BinaryReader& r) {
+  const std::uint32_t network = r.u32();
+  return net::Prefix(net::IPv4Address(network), r.u8());
+}
+
+void encode_update(net::BinaryWriter& w, const UpdateMessage& update) {
+  encode_prefix(w, update.prefix);
+  w.boolean(update.withdraw);
+  w.u32(update.path.value());
+  w.u8(static_cast<std::uint8_t>(update.origin));
+  w.u32(update.med);
+  w.boolean(update.re_only);
+}
+UpdateMessage decode_update(net::BinaryReader& r) {
+  UpdateMessage update;
+  update.prefix = decode_prefix(r);
+  update.withdraw = r.boolean();
+  update.path = PathId{r.u32()};
+  update.origin = static_cast<Origin>(r.u8());
+  update.med = r.u32();
+  update.re_only = r.boolean();
+  return update;
+}
+
+}  // namespace
+
+void BgpNetwork::Snapshot::encode(net::BinaryWriter& w) const {
+  w.u64(seed);
+  w.i64(now);
+  w.u64(next_seq);
+
+  // Path table in id order; decode re-interns in the same order, so every
+  // PathId below serializes as a raw u32. Id 0 (the empty path) is
+  // implicit.
+  const std::uint64_t path_count = paths == nullptr ? 1 : paths->entries.size();
+  w.u64(path_count);
+  for (std::uint64_t id = 1; id < path_count; ++id) {
+    const auto& entry = paths->entries[id];
+    w.u64(entry.length);
+    for (std::uint32_t i = 0; i < entry.length; ++i) {
+      w.u32(paths->arena[entry.offset + i].value());
+    }
+  }
+
+  w.u64(speakers.size());
+  for (const Speaker::Snapshot& speaker : speakers) speaker.encode(w);
+
+  w.u64(queue.size());
+  for (const PendingMessage& msg : queue) {
+    w.i64(msg.deliver_at);
+    w.u64(msg.seq);
+    w.u32(msg.from.value());
+    w.u32(msg.to.value());
+    encode_update(w, msg.update);
+  }
+
+  const auto key_less = [](const EdgePrefixKey& a, const EdgePrefixKey& b) {
+    return std::tie(a.from, a.to, a.prefix) < std::tie(b.from, b.to, b.prefix);
+  };
+  const auto encode_key = [&](const EdgePrefixKey& key) {
+    w.u32(key.from.value());
+    w.u32(key.to.value());
+    encode_prefix(w, key.prefix);
+  };
+
+  {
+    std::vector<const std::pair<EdgePrefixKey, EdgeFlowState>*> rows;
+    rows.reserve(edge_flow.size());
+    for (const auto& kv : edge_flow) rows.push_back(&kv);
+    std::sort(rows.begin(), rows.end(),
+              [&](const auto* a, const auto* b) { return key_less(a->first, b->first); });
+    w.u64(rows.size());
+    for (const auto* kv : rows) {
+      encode_key(kv->first);
+      w.i64(kv->second.last_delivery);
+      w.u32(kv->second.sent);
+    }
+  }
+
+  const auto encode_sent_map = [&](const auto& map) {
+    std::vector<const std::pair<EdgePrefixKey, SentState>*> rows;
+    rows.reserve(map.size());
+    for (const auto& kv : map) rows.push_back(&kv);
+    std::sort(rows.begin(), rows.end(),
+              [&](const auto* a, const auto* b) { return key_less(a->first, b->first); });
+    w.u64(rows.size());
+    for (const auto* kv : rows) {
+      encode_key(kv->first);
+      w.boolean(kv->second.withdrawn);
+      w.u32(kv->second.path.value());
+      w.u8(static_cast<std::uint8_t>(kv->second.origin));
+    }
+  };
+  encode_sent_map(sent);
+
+  {
+    std::vector<net::Asn> peers;
+    peers.reserve(collector_peers.size());
+    for (const net::Asn peer : collector_peers) peers.push_back(peer);
+    std::sort(peers.begin(), peers.end());
+    w.u64(peers.size());
+    for (const net::Asn peer : peers) w.u32(peer.value());
+  }
+  encode_sent_map(collector_sent);
+
+  log.encode(w);
+}
+
+BgpNetwork::Snapshot BgpNetwork::Snapshot::decode(net::BinaryReader& r) {
+  Snapshot snap;
+  snap.seed = r.u64();
+  snap.now = r.i64();
+  snap.next_seq = r.u64();
+
+  {
+    PathTable table;
+    const std::uint64_t path_count = r.length(std::uint64_t{1} << 32);
+    std::vector<net::Asn> scratch;
+    for (std::uint64_t id = 1; id < path_count; ++id) {
+      const std::uint64_t len = r.length(1u << 20);
+      scratch.clear();
+      scratch.reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        scratch.push_back(net::Asn{r.u32()});
+      }
+      table.intern(scratch);  // id order reproduces ids exactly
+    }
+    snap.paths = table.freeze();
+  }
+
+  const std::uint64_t speaker_count = r.length(1u << 24);
+  snap.speakers.reserve(speaker_count);
+  for (std::uint64_t i = 0; i < speaker_count; ++i) {
+    snap.speakers.push_back(Speaker::Snapshot::decode(r));
+  }
+
+  const std::uint64_t queue_count = r.length(std::uint64_t{1} << 32);
+  snap.queue.reserve(queue_count);
+  for (std::uint64_t i = 0; i < queue_count; ++i) {
+    PendingMessage msg;
+    msg.deliver_at = r.i64();
+    msg.seq = r.u64();
+    msg.from = net::Asn{r.u32()};
+    msg.to = net::Asn{r.u32()};
+    msg.update = decode_update(r);
+    snap.queue.push_back(msg);
+  }
+
+  const auto decode_key = [&] {
+    EdgePrefixKey key;
+    key.from = net::Asn{r.u32()};
+    key.to = net::Asn{r.u32()};
+    key.prefix = decode_prefix(r);
+    return key;
+  };
+
+  const std::uint64_t flow_count = r.length(std::uint64_t{1} << 32);
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    const EdgePrefixKey key = decode_key();
+    EdgeFlowState state;
+    state.last_delivery = r.i64();
+    state.sent = r.u32();
+    snap.edge_flow.insert_or_assign(key, state);
+  }
+
+  const auto decode_sent_map = [&](auto& map) {
+    const std::uint64_t count = r.length(std::uint64_t{1} << 32);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const EdgePrefixKey key = decode_key();
+      SentState state;
+      state.withdrawn = r.boolean();
+      state.path = PathId{r.u32()};
+      state.origin = static_cast<Origin>(r.u8());
+      map.insert_or_assign(key, state);
+    }
+  };
+  decode_sent_map(snap.sent);
+
+  const std::uint64_t peer_count = r.length(1u << 24);
+  for (std::uint64_t i = 0; i < peer_count; ++i) {
+    snap.collector_peers.insert(net::Asn{r.u32()});
+  }
+  decode_sent_map(snap.collector_sent);
+
+  snap.log = UpdateLog::decode(r);
+  return snap;
+}
+
+std::uint64_t BgpNetwork::Snapshot::digest() const {
+  net::BinaryWriter w;
+  encode(w);
+  // FNV-1a over the canonical bytes, finished with a full avalanche.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t byte : w.bytes()) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  }
+  return net::mix64(h);
+}
+
+}  // namespace re::bgp

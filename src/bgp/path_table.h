@@ -14,10 +14,22 @@
 // messages and RIB entries across arbitrary interleavings). A table is
 // owned by one BgpNetwork and shared by its speakers; ids from different
 // tables must never be mixed (same discipline as arena indices).
+//
+// Checkpoint/fork support: freeze() seals the table's current contents
+// into an immutable, shared Frozen base and rebases the live table on it.
+// Forked tables (PathTable(frozen)) start from the same base and extend
+// it with a private local arena, so a fork's path state is O(new paths),
+// not O(history): the baseline's interned paths — the bulk of any
+// experiment's arena — are one shared allocation across every fork. Ids
+// below the base count resolve through the base, ids at or above it
+// through the local extension; id assignment order (and therefore every
+// id) is identical to a never-frozen table, which is what keeps forked
+// runs bit-identical to fresh ones.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -45,7 +57,29 @@ class PathId {
 
 class PathTable {
  public:
+  // An immutable sealed prefix of a table's contents, shared (via
+  // shared_ptr) between the table that froze it and every fork created
+  // from it. Entries/arena/slots never change after freeze(), so
+  // concurrent forks read it without synchronization.
+  struct Frozen;
+
   PathTable();
+
+  // A table whose contents start as `base` (ids [0, base->entries count)
+  // resolve through the shared base); new interns extend it locally.
+  // A null base is equivalent to the default constructor.
+  explicit PathTable(std::shared_ptr<const Frozen> base);
+
+  // Seals the current contents (base + local extension merged) into a
+  // Frozen, rebases *this* table onto it (local extension becomes empty;
+  // every id keeps its value), and returns it. When nothing was interned
+  // since the last freeze, returns the existing base without copying.
+  std::shared_ptr<const Frozen> freeze();
+
+  // Ids below this resolve through the shared frozen base.
+  std::size_t frozen_count() const noexcept { return base_count_; }
+  // Bytes held by the shared frozen base (0 for a never-frozen table).
+  std::size_t frozen_bytes() const noexcept;
 
   // Interns `asns`, returning the id of the canonical copy. O(len) hash +
   // compare on hit; appends to the arena on miss.
@@ -77,16 +111,12 @@ class PathTable {
   PathId prepended(PathId id, net::Asn asn, std::size_t copies = 1);
 
   // The interned contents. Valid until the next intern (arena growth may
-  // reallocate), so consume before interning again — same contract as
-  // std::vector data().
-  std::span<const net::Asn> span(PathId id) const noexcept {
-    const Entry& entry = entries_[id.value()];
-    return {arena_.data() + entry.offset, entry.length};
-  }
+  // reallocate; frozen-base contents are stable for the base's lifetime),
+  // so consume before interning again — same contract as std::vector
+  // data().
+  std::span<const net::Asn> span(PathId id) const noexcept;
 
-  std::size_t length(PathId id) const noexcept {
-    return entries_[id.value()].length;
-  }
+  std::size_t length(PathId id) const noexcept;
   bool empty(PathId id) const noexcept { return length(id) == 0; }
 
   // First element (the AS adjacent to the receiver) / last element (the
@@ -111,12 +141,13 @@ class PathTable {
   std::string to_string(PathId id) const;
 
   // Number of distinct interned paths (including the empty path).
-  std::size_t size() const noexcept { return entries_.size(); }
-  // Bytes backing the interned contents (arena capacity).
+  std::size_t size() const noexcept { return base_count_ + entries_.size(); }
+  // Bytes backing the interned contents (local arena capacity plus the
+  // shared frozen base, when any).
   std::size_t arena_bytes() const noexcept {
     return arena_.capacity() * sizeof(net::Asn) +
            entries_.capacity() * sizeof(Entry) +
-           slots_.capacity() * sizeof(std::uint32_t);
+           slots_.capacity() * sizeof(std::uint32_t) + frozen_bytes();
   }
 
  private:
@@ -133,15 +164,55 @@ class PathTable {
 
   // Interns pre-hashed contents (the single insertion path).
   PathId intern_hashed(std::span<const net::Asn> asns, std::uint64_t hash);
-  bool slot_matches(std::uint32_t entry_index, std::uint64_t hash,
-                    std::span<const net::Asn> asns) const noexcept;
+  bool local_slot_matches(std::uint32_t local_index, std::uint64_t hash,
+                          std::span<const net::Asn> asns) const noexcept;
+  bool base_slot_matches(std::uint32_t entry_index, std::uint64_t hash,
+                         std::span<const net::Asn> asns) const noexcept;
   void grow_slots();
 
-  std::vector<net::Asn> arena_;      // concatenated path contents
-  std::vector<Entry> entries_;       // PathId -> arena extent
-  std::vector<std::uint32_t> slots_; // open addressing: entry index + 1, 0 empty
+  std::shared_ptr<const Frozen> base_;  // sealed shared prefix (may be null)
+  std::uint32_t base_count_ = 0;        // entries resolved through base_
+  std::vector<net::Asn> arena_;      // local extension: concatenated contents
+  std::vector<Entry> entries_;       // local: (PathId - base_count_) -> extent
+  std::vector<std::uint32_t> slots_; // open addressing: local index + 1, 0 empty
   std::vector<net::Asn> scratch_;    // staging buffer for prepended()
 };
+
+// The sealed prefix a fork shares with its siblings. Plain data: the
+// merged arena/entries exactly as a flat table would hold them (absolute
+// ids), plus a read-only slot table so lookups against sealed contents
+// stay O(1) without copying anything per fork.
+struct PathTable::Frozen {
+  std::vector<net::Asn> arena;       // concatenated sealed path contents
+  std::vector<Entry> entries;        // PathId -> arena extent (absolute ids)
+  std::vector<std::uint32_t> slots;  // open addressing: entry index + 1, 0 empty
+
+  std::size_t bytes() const noexcept {
+    return arena.capacity() * sizeof(net::Asn) +
+           entries.capacity() * sizeof(Entry) +
+           slots.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+inline std::size_t PathTable::frozen_bytes() const noexcept {
+  return base_ ? base_->bytes() : 0;
+}
+
+inline std::span<const net::Asn> PathTable::span(PathId id) const noexcept {
+  const std::uint32_t v = id.value();
+  if (v >= base_count_) {
+    const Entry& entry = entries_[v - base_count_];
+    return {arena_.data() + entry.offset, entry.length};
+  }
+  const Entry& entry = base_->entries[v];
+  return {base_->arena.data() + entry.offset, entry.length};
+}
+
+inline std::size_t PathTable::length(PathId id) const noexcept {
+  const std::uint32_t v = id.value();
+  if (v >= base_count_) return entries_[v - base_count_].length;
+  return base_->entries[v].length;
+}
 
 // Worker-local intern staging for the round-parallel propagation engine.
 //

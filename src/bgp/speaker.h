@@ -30,6 +30,11 @@
 #include "netbase/flat_map.h"
 #include "netbase/prefix.h"
 
+namespace re::net {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace re::net
+
 namespace re::bgp {
 
 // Per-prefix options controlling how the *origin* announces it.
@@ -192,6 +197,17 @@ class Speaker {
   };
   ExportProbe export_probe(const net::Prefix& prefix) const;
 
+  // --- Checkpoint/fork ------------------------------------------------------
+
+  // The speaker's full mutable state (configs, sessions, Adj-RIB-In /
+  // Loc-RIB, failure and damping state), with AS paths still held as
+  // PathIds into the owning network's table. A snapshot is only
+  // meaningful alongside the table state it was taken against —
+  // BgpNetwork::Snapshot pairs the two.
+  struct Snapshot;
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
   // --- Maintenance ----------------------------------------------------------
   void clear_prefix(const net::Prefix& prefix);
   std::vector<net::Prefix> known_prefixes() const;
@@ -237,6 +253,31 @@ class Speaker {
   // Scratch candidate buffer reused across decisions (capacity persists,
   // so the steady-state decision runs allocation-free).
   mutable std::vector<Route> candidate_scratch_;
+};
+
+// Plain-data copy of everything a speaker mutates after construction.
+// In-memory forks restore it directly (FlatMap copies preserve layout);
+// the disk codec re-inserts in sorted key order, which yields a
+// behaviorally identical (lookup-equivalent) table.
+struct Speaker::Snapshot {
+  net::Asn asn;
+  DecisionConfig decision;
+  ImportPolicy import;
+  ExportPolicy export_policy;
+  DampingConfig damping;
+  bool re_transit_between_peers = false;
+  bool vrf_split_export = false;
+  // Shared by forks in memory; the disk codec records only whether ROV
+  // was armed and decodes to nullptr (the ROA table lives outside the
+  // simulation state — callers re-arm it after a disk restore).
+  const RoaTable* rov_table = nullptr;
+  std::vector<Session> sessions;
+  net::FlatMap<net::Asn, std::size_t> session_index;
+  net::FlatMap<net::Prefix, PrefixState> rib;
+  net::FlatMap<net::Asn, net::FlatSet<net::Prefix>> failed;
+
+  void encode(net::BinaryWriter& writer) const;
+  static Snapshot decode(net::BinaryReader& reader);
 };
 
 }  // namespace re::bgp

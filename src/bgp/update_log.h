@@ -25,6 +25,11 @@
 #include "netbase/clock.h"
 #include "netbase/prefix.h"
 
+namespace re::net {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace re::net
+
 namespace re::bgp {
 
 struct CollectorUpdate {
@@ -78,6 +83,12 @@ class UpdateLog {
   // reconstructed from updates, as one does with RouteViews RIB+updates.
   std::unordered_map<net::Asn, AsPath> rib_at(const net::Prefix& prefix,
                                               net::SimTime at) const;
+
+  // Checkpoint codec: the interned table is written in id order and
+  // re-interned in the same order on decode, so every stored PathId
+  // round-trips as a raw u32.
+  void encode(net::BinaryWriter& writer) const;
+  static UpdateLog decode(net::BinaryReader& reader);
 
  private:
   std::vector<CollectorUpdate> updates_;

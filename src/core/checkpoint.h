@@ -1,0 +1,32 @@
+// Abstract checkpoint storage for the experiment controller.
+//
+// The controller serializes its state to a flat byte blob after every
+// probing round (see ExperimentConfig::checkpoint_store) and reads it
+// back on resume. Storage is behind this interface so core does not
+// depend on the io layer: FileCheckpointStore (src/io/snapshot_io.h)
+// writes real files; tests use an in-memory map.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace re::core {
+
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  // Persists `bytes` under `key`, replacing any previous value. Returns
+  // false on storage failure (the controller keeps running — a failed
+  // save costs resumability, not correctness).
+  virtual bool save(const std::string& key,
+                    const std::vector<std::uint8_t>& bytes) = 0;
+
+  // The last saved blob for `key`, or nullopt if none exists.
+  virtual std::optional<std::vector<std::uint8_t>> load(
+      const std::string& key) = 0;
+};
+
+}  // namespace re::core

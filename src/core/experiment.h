@@ -6,13 +6,16 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bgp/network.h"
 #include "bgp/update_log.h"
+#include "core/checkpoint.h"
 #include "dataplane/outage.h"
 #include "netbase/clock.h"
+#include "netbase/rng.h"
 #include "probing/host.h"
 #include "probing/prober.h"
 #include "probing/seeds.h"
@@ -82,6 +85,36 @@ struct ExperimentConfig {
   std::size_t intra_workers = 1;
 
   std::uint64_t seed = 99;
+
+  // When set, the baseline phase also announces and converges every
+  // member prefix before the measurement prefix — the network carries a
+  // full internet-like RIB, as in the real experiment, instead of the
+  // measurement prefix alone. Makes the baseline by far the most
+  // expensive phase; the checkpoint/fork engine exists to pay it once
+  // per sweep instead of once per run.
+  bool full_rib_baseline = false;
+
+  // Baseline sharing (checkpoint/fork engine). When set, the §3.1
+  // baseline phase — week-variation draws, network build, commodity and
+  // R&E baseline convergence — is seeded from baseline_seed, and the
+  // post-baseline phase (flaky rounds, outage plants) draws from a fresh
+  // Rng(seed). That split is what lets N trials with different seeds
+  // fork one shared converged baseline and still differ where they
+  // should. Unset = the classic single-stream run, byte-identical to the
+  // behavior before this knob existed.
+  std::optional<std::uint64_t> baseline_seed;
+
+  // Round-level disk checkpointing. With a store configured, the
+  // controller saves its complete state (result so far, prober RNG
+  // position, outage/flaky state, full network snapshot) under
+  // checkpoint_key after every probing round; a run with resume=true
+  // continues from the last saved round and produces a result digest
+  // identical to an uninterrupted run. abort_after_round >= 0 returns
+  // right after saving that round's checkpoint (the CI kill simulation).
+  CheckpointStore* checkpoint_store = nullptr;
+  std::string checkpoint_key = "experiment";
+  bool resume = false;
+  int abort_after_round = -1;
 };
 
 // The probing/announcement timeline of one configuration (Figure 3's
@@ -90,7 +123,12 @@ struct RoundWindow {
   int round = 0;
   PrependConfig config;
   net::SimTime config_applied = 0;
+  // Simulated time of the last delivered update before probing. Only a
+  // true convergence timestamp when `converged` is set; in
+  // partial-convergence mode it marks when delivery stopped, and updates
+  // may still be in flight when the probes run.
   net::SimTime converged_at = 0;
+  bool converged = true;
   net::SimTime probe_start = 0;
   net::SimTime probe_end = 0;
 };
@@ -143,16 +181,65 @@ class ExperimentController {
 
   ExperimentResult run();
 
+  // A converged §3.1 baseline captured once and forked many times: the
+  // full post-baseline network state plus the provenance needed to
+  // decide whether a config may warm-start from it.
+  struct BaselineCheckpoint {
+    ReExperiment experiment = ReExperiment::kInternet2;
+    std::uint32_t first_re_prepend = 0;
+    std::uint64_t baseline_seed = 0;  // effective (seed or baseline_seed)
+    double p_week_variation = 0.0;
+    bool full_rib = false;
+    const topo::Ecosystem* ecosystem = nullptr;
+    bgp::NetworkSnapshot network;
+  };
+
+  // Runs only the baseline phase and captures it. The snapshot shares
+  // its path arena with every fork, so keeping one checkpoint alive
+  // across a whole sweep costs one baseline's memory.
+  BaselineCheckpoint checkpoint_baseline();
+
+  // True when this controller's config would reproduce `base`'s baseline
+  // exactly (same ecosystem object, experiment, first-round R&E prepend,
+  // effective baseline seed, and week-variation rate).
+  bool compatible(const BaselineCheckpoint& base) const;
+
+  // Warm-start: forks `base` instead of rebuilding and re-converging the
+  // baseline. Result digests are bit-identical to run(). Falls back to a
+  // cold run when the checkpoint is not compatible.
+  ExperimentResult run(const BaselineCheckpoint& base);
+
   // VLAN numbering from Figure 2.
   static constexpr int kCommodityVlan = 18;
   static constexpr int kInternet2ReVlan = 17;
   static constexpr int kSurfReVlan = 1001;
 
  private:
+  struct Setup;       // baseline artifacts (experiment.cpp)
+  struct RoundState;  // per-round driver state (experiment.cpp)
+
+  std::uint64_t effective_baseline_seed() const;
+  ExperimentResult make_result_header() const;
+  Setup make_baseline();
+  net::Rng post_baseline_rng() const;
+  RoundState make_round_state(Setup& setup);
+  ExperimentResult run_rounds(Setup setup, RoundState state,
+                              std::size_t first_round);
+  void save_round_checkpoint(const ExperimentResult& result,
+                             const RoundState& state, bgp::BgpNetwork& network,
+                             std::size_t rounds_done);
+  std::optional<ExperimentResult> try_resume();
+
   const topo::Ecosystem& ecosystem_;
   const std::vector<probing::PrefixSeeds>& seeds_;
   ExperimentConfig config_;
   runtime::ThreadPool* pool_ = nullptr;
 };
+
+// Content digest over a result's canonical serialization (windows,
+// observations, update log, phase boundaries). The equality the warm
+// paths are held to: fork-vs-fresh and resumed-vs-uninterrupted runs
+// must produce equal digests.
+std::uint64_t result_digest(const ExperimentResult& result);
 
 }  // namespace re::core

@@ -16,6 +16,7 @@ Figure3 build_figure3(const ExperimentResult& result) {
     tw.config_applied = window.config_applied;
     tw.probe_start = window.probe_start;
     tw.probe_end = window.probe_end;
+    tw.converged = window.converged;
     net::SimTime last_update = window.config_applied;
     for (const bgp::CollectorUpdate& u : updates) {
       if (u.prefix != prefix) continue;
@@ -68,10 +69,11 @@ std::string render_figure3(const Figure3& fig) {
   out += line;
   out += "config  updates-after-change  quiet-before-probe  updates-in-window\n";
   for (const TimelineWindow& w : fig.windows) {
-    std::snprintf(line, sizeof(line), "%-7s %21zu  %18s  %17zu\n",
+    std::snprintf(line, sizeof(line), "%-7s %21zu  %18s  %17zu%s\n",
                   w.config_label.c_str(), w.updates_after_change,
                   net::SimClock::format(w.quiet_before_probe).c_str(),
-                  w.updates_during_probe);
+                  w.updates_during_probe,
+                  w.converged ? "" : "  (not converged)");
     out += line;
   }
 

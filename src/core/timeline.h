@@ -18,6 +18,10 @@ struct TimelineWindow {
   std::size_t updates_after_change = 0;   // updates in [change, probe_start)
   std::size_t updates_during_probe = 0;   // updates in [probe_start, probe_end)
   net::SimTime quiet_before_probe = 0;    // gap since the last update
+  // False when probing started before BGP settled (partial-convergence
+  // runs): quiet_before_probe then measures delivery stopping, not the
+  // network settling.
+  bool converged = true;
 };
 
 struct Figure3 {

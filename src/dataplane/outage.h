@@ -35,6 +35,13 @@ class OutageInjector {
   // network reflects the outages scheduled for `round`.
   void apply(bgp::BgpNetwork& network, const net::Prefix& prefix, int round);
 
+  // Checkpoint support: which plans are currently applied. A resumed
+  // sweep restores this alongside the network snapshot, so the first
+  // post-resume apply() fails/restores exactly the sessions a continuous
+  // run would have (apply is edge-triggered, not level-triggered).
+  const std::vector<bool>& active() const noexcept { return active_; }
+  void restore_active(std::vector<bool> active) { active_ = std::move(active); }
+
  private:
   std::vector<OutagePlan> plans_;
   std::vector<bool> active_;  // parallel to plans_

@@ -1,0 +1,32 @@
+// Disk-backed checkpoint storage for long sweeps.
+//
+// FileCheckpointStore maps checkpoint keys to files in one directory and
+// frames each blob with a magic + version header plus a length field, so
+// a truncated write (the process was killed mid-save) is detected on
+// load and treated as "no checkpoint" rather than fed to the decoder.
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.h"
+
+namespace re::io {
+
+class FileCheckpointStore : public core::CheckpointStore {
+ public:
+  // `directory` is created on first save if missing.
+  explicit FileCheckpointStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  bool save(const std::string& key,
+            const std::vector<std::uint8_t>& bytes) override;
+  std::optional<std::vector<std::uint8_t>> load(const std::string& key) override;
+
+  // The file a key maps to (for tests and tooling).
+  std::string path_for(const std::string& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace re::io

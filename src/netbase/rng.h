@@ -5,6 +5,7 @@
 // xoshiro256++, seeded via SplitMix64 per the authors' recommendation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -119,6 +120,17 @@ class Rng {
   // from this generator's current state and a caller-chosen stream id.
   Rng fork(std::uint64_t stream) noexcept {
     return Rng(next() ^ (stream * 0x9e3779b97f4a7c15ull));
+  }
+
+  // Raw state capture/restoration, so experiment checkpoints can resume a
+  // generator mid-stream (the RNG is part of the simulation state).
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  static Rng from_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    Rng rng(0);
+    for (std::size_t i = 0; i < 4; ++i) rng.state_[i] = state[i];
+    return rng;
   }
 
  private:

@@ -90,6 +90,16 @@ class Prober {
                         const TargetResolver& resolver, net::SimClock& clock,
                         runtime::ThreadPool* pool = nullptr);
 
+  // Checkpoint support: the prober draws one value from rng_ per round,
+  // so resuming a killed sweep mid-experiment must restore the stream
+  // position, not just the seed.
+  std::array<std::uint64_t, 4> rng_state() const noexcept {
+    return rng_.state();
+  }
+  void restore_rng_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    rng_ = net::Rng::from_state(state);
+  }
+
  private:
   // Probes one prefix's targets with the prefix's own RNG stream.
   PrefixRoundResult probe_prefix(const PrefixSeeds& prefix_seeds,

@@ -1,0 +1,36 @@
+// Validated environment-variable parsing for the RE_* runtime knobs.
+//
+// The bare std::atol/std::atof parsers previously scattered across the
+// benches accepted anything: RE_TRIALS=abc silently fell back to the
+// default and RE_TRIALS=8garbage silently became 8, so a typo'd sweep ran
+// the wrong configuration without a word. These parsers are strict — the
+// whole string must be a number in range — and the env_* entry points
+// reject malformed values loudly (stderr + exit) instead of guessing,
+// because a multi-hour sweep run under the wrong knob is worse than no
+// sweep at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace re::runtime {
+
+// Strict parse of a positive integer: the full string (surrounding
+// whitespace excepted) must be digits, the value must be > 0 and fit.
+// nullopt on any violation.
+std::optional<std::size_t> parse_positive_size(std::string_view text) noexcept;
+
+// Strict parse of a finite positive double (full-string, > 0).
+std::optional<double> parse_positive_double(std::string_view text) noexcept;
+
+// Reads env var `name` as a positive integer. Unset or empty -> fallback;
+// set but malformed -> diagnostic on stderr and exit(2).
+std::size_t env_positive_size(const char* name, std::size_t fallback);
+
+// Reads env var `name` as a finite positive double. Unset or empty ->
+// fallback; set but malformed -> diagnostic on stderr and exit(2).
+double env_positive_double(const char* name, double fallback);
+
+}  // namespace re::runtime

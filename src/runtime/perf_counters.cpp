@@ -38,6 +38,11 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
   barrier_wait_seconds += other.barrier_wait_seconds;
   merge_seconds += other.merge_seconds;
   if (other.intra_workers > intra_workers) intra_workers = other.intra_workers;
+  checkpoints += other.checkpoints;
+  forks += other.forks;
+  if (other.arena_shared_bytes > arena_shared_bytes) {
+    arena_shared_bytes = other.arena_shared_bytes;
+  }
   return *this;
 }
 
@@ -59,6 +64,14 @@ std::string PerfCounters::summary() const {
                   static_cast<unsigned long long>(rounds),
                   static_cast<unsigned long long>(intra_workers),
                   shard_balance(), barrier_wait_seconds, merge_seconds);
+    out += buffer;
+  }
+  if (forks > 0 || checkpoints > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  ", %llu checkpoint(s)%s (%.1f KiB arena shared)",
+                  static_cast<unsigned long long>(checkpoints),
+                  forks > 0 ? ", forked" : "",
+                  static_cast<double>(arena_shared_bytes) / 1024.0);
     out += buffer;
   }
   return out;

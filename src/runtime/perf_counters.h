@@ -32,6 +32,14 @@ struct PerfCounters {
   double merge_seconds = 0.0;           // serial canonical-merge time
   std::uint64_t intra_workers = 1;      // round-sharding width of the run
 
+  // Checkpoint/fork engine (see BgpNetwork::checkpoint / Snapshot::fork).
+  std::uint64_t checkpoints = 0;          // snapshots taken from this network
+  std::uint64_t forks = 0;                // 1 when this network was forked
+                                          // from a snapshot, 0 when built cold
+  std::uint64_t arena_shared_bytes = 0;   // PathTable bytes held in the
+                                          // frozen base shared across forks
+                                          // (subset of arena_bytes)
+
   double messages_per_sec() const noexcept;
 
   // Average open-addressing probe length (1.0 = every lookup hit its

@@ -3,15 +3,13 @@
 #include <cstdlib>
 #include <memory>
 
+#include "runtime/env.h"
+
 namespace re::runtime {
 
 std::size_t ThreadPool::default_thread_count() {
-  if (const char* env = std::getenv("RE_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return env_positive_size("RE_THREADS", hw == 0 ? 1 : hw);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

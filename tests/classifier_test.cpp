@@ -188,6 +188,35 @@ TEST(Table1, CountsPrefixesAndDistinctAses) {
   EXPECT_EQ(table.prefix_share(Inference::kOscillating), 0.0);
 }
 
+// Regression pins for the §4 exclusion precedence: a round where every
+// probe is lost excludes the prefix outright. It must never let a
+// Switch-to-R&E timeline degrade into Oscillating or Mixed, because the
+// loss round sits between the commodity and R&E phases and would
+// otherwise read as extra transitions.
+TEST(ClassifyPrefix, AllProbesLostInteriorRoundExcludesSwitchToRe) {
+  const PrefixObservation obs = make_observation(
+      {"cc", "cc", "..", "rr", "rr", "rr", "rr", "rr", "rr"});
+  const PrefixInference result = classify_prefix(obs, kReVlan);
+  EXPECT_EQ(result.inference, Inference::kExcludedLoss);
+  EXPECT_NE(result.inference, Inference::kOscillating);
+  EXPECT_NE(result.inference, Inference::kMixed);
+}
+
+TEST(ClassifyPrefix, LossRoundAtSwitchBoundaryExcludes) {
+  // The loss lands exactly where the commodity->R&E transition happens.
+  const PrefixObservation obs = make_observation(
+      {"cc", "cc", "cc", "cc", "..", "rr", "rr", "rr", "rr"});
+  EXPECT_EQ(classify_prefix(obs, kReVlan).inference,
+            Inference::kExcludedLoss);
+}
+
+TEST(ClassifyPrefix, CleanSwitchToReStaysSwitchToRe) {
+  // Control: the same timeline without the loss round keeps its class.
+  const PrefixObservation obs = make_observation(
+      {"cc", "cc", "cc", "rr", "rr", "rr", "rr", "rr", "rr"});
+  EXPECT_EQ(classify_prefix(obs, kReVlan).inference, Inference::kSwitchToRe);
+}
+
 TEST(InferenceStrings, HumanReadable) {
   EXPECT_EQ(to_string(Inference::kAlwaysRe), "Always R&E");
   EXPECT_EQ(to_string(Inference::kSwitchToRe), "Switch to R&E");

@@ -1,7 +1,8 @@
-// The deterministic parallel sweep engine: thread pool semantics and RNG
-// stream splitting.
+// The deterministic parallel sweep engine: thread pool semantics, RNG
+// stream splitting, and the strict RE_* environment-knob parsers.
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "netbase/rng.h"
+#include "runtime/env.h"
 #include "runtime/rng_streams.h"
 #include "runtime/thread_pool.h"
 
@@ -139,6 +141,53 @@ TEST(ThreadPoolTest, ParallelSweepMatchesSerialBitForBit) {
     ThreadPool pool(threads);
     EXPECT_EQ(sweep(pool), reference) << threads << " threads";
   }
+}
+
+TEST(EnvParseTest, PositiveSizeAcceptsOnlyWholeNumericStrings) {
+  EXPECT_EQ(parse_positive_size("8"), 8u);
+  EXPECT_EQ(parse_positive_size("  16 "), 16u);
+  EXPECT_EQ(parse_positive_size("1"), 1u);
+  // The old atol behavior: "8garbage" parsed as 8 and "abc" as 0. Both
+  // must be rejected outright now.
+  EXPECT_EQ(parse_positive_size("8garbage"), std::nullopt);
+  EXPECT_EQ(parse_positive_size("abc"), std::nullopt);
+  EXPECT_EQ(parse_positive_size(""), std::nullopt);
+  EXPECT_EQ(parse_positive_size("0"), std::nullopt);
+  EXPECT_EQ(parse_positive_size("-4"), std::nullopt);
+  EXPECT_EQ(parse_positive_size("4.5"), std::nullopt);
+  EXPECT_EQ(parse_positive_size("99999999999999999999999"), std::nullopt);
+}
+
+TEST(EnvParseTest, PositiveDoubleAcceptsOnlyFinitePositives) {
+  EXPECT_EQ(parse_positive_double("0.25"), 0.25);
+  EXPECT_EQ(parse_positive_double("1"), 1.0);
+  EXPECT_EQ(parse_positive_double(" 2e-1 "), 0.2);
+  EXPECT_EQ(parse_positive_double("0.5x"), std::nullopt);
+  EXPECT_EQ(parse_positive_double("nan"), std::nullopt);
+  EXPECT_EQ(parse_positive_double("inf"), std::nullopt);
+  EXPECT_EQ(parse_positive_double("0"), std::nullopt);
+  EXPECT_EQ(parse_positive_double("-0.5"), std::nullopt);
+  EXPECT_EQ(parse_positive_double(""), std::nullopt);
+}
+
+TEST(EnvParseTest, EnvHelpersFallBackWhenUnset) {
+  ::unsetenv("RE_TEST_KNOB");
+  EXPECT_EQ(env_positive_size("RE_TEST_KNOB", 7), 7u);
+  EXPECT_EQ(env_positive_double("RE_TEST_KNOB", 0.5), 0.5);
+  ::setenv("RE_TEST_KNOB", "", 1);
+  EXPECT_EQ(env_positive_size("RE_TEST_KNOB", 7), 7u);
+  ::setenv("RE_TEST_KNOB", "12", 1);
+  EXPECT_EQ(env_positive_size("RE_TEST_KNOB", 7), 12u);
+  ::unsetenv("RE_TEST_KNOB");
+}
+
+TEST(EnvParseDeathTest, MalformedEnvValueAbortsLoudly) {
+  ::setenv("RE_TEST_KNOB", "8garbage", 1);
+  EXPECT_EXIT(env_positive_size("RE_TEST_KNOB", 7), ::testing::ExitedWithCode(2),
+              "RE_TEST_KNOB");
+  EXPECT_EXIT(env_positive_double("RE_TEST_KNOB", 0.5),
+              ::testing::ExitedWithCode(2), "RE_TEST_KNOB");
+  ::unsetenv("RE_TEST_KNOB");
 }
 
 }  // namespace

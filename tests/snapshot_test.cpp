@@ -1,0 +1,324 @@
+// Tests for the converged-world checkpoint/fork engine: snapshot
+// serialization round-trips, fork-vs-fresh bit-identity at every worker
+// count, resume-mid-sweep equivalence, and the partial-convergence
+// window flags. The contracts here are exactly the ones the warm bench
+// paths rely on, so a regression fails loudly before it can poison a
+// sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/experiment.h"
+#include "io/snapshot_io.h"
+#include "netbase/binio.h"
+#include "netbase/clock.h"
+#include "probing/seeds.h"
+#include "topology/ecosystem.h"
+
+namespace re::core {
+namespace {
+
+// Round checkpoints live in a plain map for the resume tests — the
+// controller only needs the interface, not real files.
+class MemoryStore : public CheckpointStore {
+ public:
+  bool save(const std::string& key,
+            const std::vector<std::uint8_t>& bytes) override {
+    blobs_[key] = bytes;
+    ++saves_;
+    return true;
+  }
+  std::optional<std::vector<std::uint8_t>> load(
+      const std::string& key) override {
+    const auto it = blobs_.find(key);
+    if (it == blobs_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::map<std::string, std::vector<std::uint8_t>>& blobs() { return blobs_; }
+  int saves() const { return saves_; }
+
+ private:
+  std::map<std::string, std::vector<std::uint8_t>> blobs_;
+  int saves_ = 0;
+};
+
+struct World {
+  topo::Ecosystem ecosystem;
+  probing::SelectionResult selection;
+};
+
+World* make_world() {
+  topo::EcosystemParams params;
+  params = params.scaled(0.05);
+  params.seed = 20250529;
+  auto* world = new World{topo::Ecosystem::generate(params), {}};
+  const probing::SeedDatabase db = probing::SeedDatabase::generate(
+      world->ecosystem, probing::SeedGenParams{});
+  world->selection = probing::select_probe_seeds(world->ecosystem, db, 11);
+  return world;
+}
+
+class SnapshotFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = make_world(); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static const World& world() { return *world_; }
+
+  static ExperimentConfig base_config() {
+    ExperimentConfig config;
+    config.experiment = ReExperiment::kInternet2;
+    config.seed = 502;
+    return config;
+  }
+
+  static ExperimentController controller(const ExperimentConfig& config) {
+    return ExperimentController(world().ecosystem, world().selection.seeds,
+                                config);
+  }
+
+ private:
+  static const World* world_;
+};
+const World* SnapshotFixture::world_ = nullptr;
+
+// ------------------------------------------------------- snapshot codec
+
+TEST_F(SnapshotFixture, SnapshotEncodeDecodeRoundTripsDigest) {
+  auto base = controller(base_config()).checkpoint_baseline();
+  const std::uint64_t before = base.network.digest();
+
+  net::BinaryWriter writer;
+  base.network.encode(writer);
+  const std::vector<std::uint8_t> bytes = writer.bytes();
+  ASSERT_FALSE(bytes.empty());
+
+  net::BinaryReader reader(bytes);
+  const bgp::NetworkSnapshot decoded = bgp::NetworkSnapshot::decode(reader);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(decoded.digest(), before);
+
+  // The decoded snapshot is a working network, not just equal bytes.
+  EXPECT_EQ(decoded.fork()->state_digest(), base.network.fork()->state_digest());
+}
+
+TEST_F(SnapshotFixture, TruncatedSnapshotFailsDecodeLoudly) {
+  auto base = controller(base_config()).checkpoint_baseline();
+  net::BinaryWriter writer;
+  base.network.encode(writer);
+  std::vector<std::uint8_t> bytes = writer.bytes();
+  bytes.resize(bytes.size() / 2);
+  net::BinaryReader reader(bytes);
+  (void)bgp::NetworkSnapshot::decode(reader);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(SnapshotFixture, ConcurrentForksAreIndependentAndIdentical) {
+  // Fork one snapshot from several threads at once (the TSan target for
+  // the shared frozen path arena), then advance each fork independently
+  // and check they all reach the same state.
+  auto base = controller(base_config()).checkpoint_baseline();
+  constexpr int kForks = 4;
+  std::uint64_t digests[kForks] = {};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kForks; ++i) {
+    threads.emplace_back([&, i] {
+      auto network = base.network.fork();
+      network->run_to_convergence();
+      digests[i] = network->state_digest();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kForks; ++i) EXPECT_EQ(digests[i], digests[0]) << i;
+}
+
+// ------------------------------------------------------- fork vs fresh
+
+TEST_F(SnapshotFixture, ForkVsFreshBitIdenticalSerial) {
+  const ExperimentConfig config = base_config();
+  const ExperimentResult cold = controller(config).run();
+  const auto base = controller(config).checkpoint_baseline();
+  const ExperimentResult warm = controller(config).run(base);
+  EXPECT_EQ(result_digest(warm), result_digest(cold));
+}
+
+TEST_F(SnapshotFixture, ForkVsFreshBitIdenticalSharded) {
+  // intra_workers > 1 shards the propagation sweep; the digest must not
+  // move relative to the serial cold run above.
+  ExperimentConfig serial = base_config();
+  const ExperimentResult cold = controller(serial).run();
+
+  ExperimentConfig sharded = base_config();
+  sharded.intra_workers = 3;
+  const auto base = controller(sharded).checkpoint_baseline();
+  const ExperimentResult warm = controller(sharded).run(base);
+  EXPECT_EQ(result_digest(warm), result_digest(cold));
+}
+
+TEST_F(SnapshotFixture, SharedBaselineSeedForksAcrossTrialSeeds) {
+  // The bench_seeds sweep shape: trials differ in `seed` but share
+  // `baseline_seed`, so one checkpoint serves all of them.
+  auto trial_config = [](std::uint64_t seed) {
+    ExperimentConfig config;
+    config.experiment = ReExperiment::kInternet2;
+    config.seed = seed;
+    config.baseline_seed = 777;
+    return config;
+  };
+  const auto base = controller(trial_config(1)).checkpoint_baseline();
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{2}}) {
+    const ExperimentResult cold = controller(trial_config(seed)).run();
+    const ExperimentResult warm = controller(trial_config(seed)).run(base);
+    EXPECT_EQ(result_digest(warm), result_digest(cold)) << "seed " << seed;
+  }
+}
+
+TEST_F(SnapshotFixture, IncompatibleCheckpointFallsBackToColdRun) {
+  const auto base = controller(base_config()).checkpoint_baseline();
+
+  ExperimentConfig other = base_config();
+  other.experiment = ReExperiment::kSurf;
+  other.seed = 501;
+  EXPECT_FALSE(controller(other).compatible(base));
+  // run(base) on the incompatible config still produces the cold result.
+  const ExperimentResult cold = controller(other).run();
+  const ExperimentResult fallback = controller(other).run(base);
+  EXPECT_EQ(result_digest(fallback), result_digest(cold));
+}
+
+// ------------------------------------------------------- resume mid-sweep
+
+TEST_F(SnapshotFixture, ResumeMidSweepMatchesUninterruptedRun) {
+  const ExperimentResult uninterrupted = controller(base_config()).run();
+
+  MemoryStore store;
+  ExperimentConfig aborted = base_config();
+  aborted.checkpoint_store = &store;
+  aborted.checkpoint_key = "resume-test";
+  aborted.abort_after_round = 3;
+  const ExperimentResult partial = controller(aborted).run();
+  EXPECT_EQ(partial.windows.size(), 4u);  // rounds 0..3 then the abort
+  EXPECT_GT(store.saves(), 0);
+
+  ExperimentConfig resumed = base_config();
+  resumed.checkpoint_store = &store;
+  resumed.checkpoint_key = "resume-test";
+  resumed.resume = true;
+  const ExperimentResult result = controller(resumed).run();
+  EXPECT_EQ(result_digest(result), result_digest(uninterrupted));
+}
+
+TEST_F(SnapshotFixture, ResumeWithCorruptCheckpointFallsBackToColdRun) {
+  MemoryStore store;
+  ExperimentConfig config = base_config();
+  config.checkpoint_store = &store;
+  config.checkpoint_key = "corrupt-test";
+  const ExperimentResult uninterrupted = controller(config).run();
+
+  auto& blob = store.blobs().at("corrupt-test");
+  blob.resize(blob.size() / 3);
+  ExperimentConfig resumed = config;
+  resumed.resume = true;
+  const ExperimentResult result = controller(resumed).run();
+  EXPECT_EQ(result_digest(result), result_digest(uninterrupted));
+}
+
+TEST_F(SnapshotFixture, ResumeRejectsCheckpointFromDifferentSeed) {
+  MemoryStore store;
+  ExperimentConfig config = base_config();
+  config.checkpoint_store = &store;
+  config.abort_after_round = 2;
+  (void)controller(config).run();
+
+  // A resume under a different seed must not splice foreign state; it
+  // reruns cold and so matches that seed's uninterrupted digest.
+  ExperimentConfig other = base_config();
+  other.seed = 503;
+  const ExperimentResult cold = controller(other).run();
+  other.checkpoint_store = &store;
+  other.resume = true;
+  const ExperimentResult resumed = controller(other).run();
+  EXPECT_EQ(result_digest(resumed), result_digest(cold));
+}
+
+// ------------------------------------------------------- disk store
+
+TEST(FileCheckpointStore, RoundTripsAndSurvivesResave) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "re-ckpt-roundtrip";
+  std::filesystem::remove_all(dir);
+  io::FileCheckpointStore store(dir.string());
+
+  const std::vector<std::uint8_t> blob = {0x52, 0x45, 0x00, 0xff, 0x10};
+  ASSERT_TRUE(store.save("surf run/1", blob));
+  EXPECT_EQ(store.load("surf run/1"), blob);
+
+  const std::vector<std::uint8_t> next = {0x01};
+  ASSERT_TRUE(store.save("surf run/1", next));
+  EXPECT_EQ(store.load("surf run/1"), next);
+  EXPECT_EQ(store.load("missing"), std::nullopt);
+}
+
+TEST(FileCheckpointStore, CorruptFileLoadsAsNothing) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "re-ckpt-corrupt";
+  std::filesystem::remove_all(dir);
+  io::FileCheckpointStore store(dir.string());
+  ASSERT_TRUE(store.save("key", {1, 2, 3, 4, 5, 6, 7, 8}));
+
+  const std::string path = store.path_for("key");
+  // Flip one payload byte: the checksum must catch it.
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -1, SEEK_END);
+  std::fputc(0x7f, f);
+  std::fclose(f);
+  EXPECT_EQ(store.load("key"), std::nullopt);
+
+  // Truncated below the header is also nothing, not a crash.
+  std::filesystem::resize_file(path, 4);
+  EXPECT_EQ(store.load("key"), std::nullopt);
+}
+
+// ----------------------------------------------- partial-convergence flag
+
+TEST_F(SnapshotFixture, FullConvergenceMarksEveryWindowConverged) {
+  const ExperimentResult result = controller(base_config()).run();
+  for (const RoundWindow& w : result.windows) {
+    EXPECT_TRUE(w.converged) << w.config.label();
+    EXPECT_LE(w.converged_at, w.probe_start) << w.config.label();
+  }
+}
+
+TEST_F(SnapshotFixture, PartialConvergenceReportsHonestTimestamps) {
+  // With a one-second wait BGP cannot settle before probing; the windows
+  // must say so instead of reporting the probe time as convergence (the
+  // old fake-timestamp bug).
+  ExperimentConfig config = base_config();
+  config.full_convergence = false;
+  config.convergence_wait = net::kSecond;
+  const ExperimentResult result = controller(config).run();
+  bool any_unconverged = false;
+  for (const RoundWindow& w : result.windows) {
+    EXPECT_LE(w.converged_at, w.probe_start) << w.config.label();
+    if (!w.converged) {
+      any_unconverged = true;
+      // The honest timestamp marks the last delivery before the probe,
+      // never the probe itself.
+      EXPECT_LT(w.converged_at, w.probe_start) << w.config.label();
+    }
+  }
+  EXPECT_TRUE(any_unconverged);
+}
+
+}  // namespace
+}  // namespace re::core
