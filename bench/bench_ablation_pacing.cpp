@@ -123,7 +123,11 @@ int main() {
       return 1;
     }
   }
-  std::printf("warm start: all 4 forked runs digest-identical to cold runs\n\n");
+  std::printf("warm start: all 4 forked runs digest-identical to cold runs\n");
+  // Incremental-convergence counters for the paper-pacing run: the
+  // prepend rounds converge only the dirtied measurement prefix.
+  std::printf("propagation: %s\n\n",
+              warm_results[0].propagation_perf.summary().c_str());
 
   const std::vector<core::PrefixInference> baseline =
       core::classify_experiment(cold_results[0]);

@@ -91,7 +91,9 @@ int main() {
     return 1;
   }
   std::printf("warm start: forked (paper order) and fallback (shuffled"
-              " order) runs digest-identical to cold runs\n\n");
+              " order) runs digest-identical to cold runs\n");
+  std::printf("propagation: %s\n\n",
+              paper_warm.propagation_perf.summary().c_str());
 
   const std::vector<core::PrefixInference> paper =
       core::classify_experiment(paper_cold);

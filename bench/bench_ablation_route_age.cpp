@@ -156,7 +156,9 @@ int main() {
     }
   }
   std::printf("warm start: 2 forked + 2 incompatible-fallback runs"
-              " digest-identical to cold runs\n\n");
+              " digest-identical to cold runs\n");
+  std::printf("propagation: %s\n\n",
+              warm_runs[0].propagation_perf.summary().c_str());
 
   std::vector<core::PrefixInference> runs[4];
   for (std::size_t i = 0; i < 4; ++i) {

@@ -89,7 +89,9 @@ int main() {
     }
   }
   std::printf("warm start: all 3 forked variants digest-identical to cold"
-              " runs\n\n");
+              " runs\n");
+  std::printf("propagation: %s\n\n",
+              warm_runs[0].propagation_perf.summary().c_str());
 
   std::vector<std::map<core::Inference, std::size_t>> results(3);
   for (std::size_t i = 0; i < 3; ++i) {

@@ -70,20 +70,33 @@ class BenchTimer {
   void write() const {
     if (rows_.empty()) return;
     std::vector<TimingRow> merged = load_existing();
-    for (const TimingRow& row : rows_) {
-      bool replaced = false;
-      for (TimingRow& existing : merged) {
-        if (existing.bench == row.bench && existing.scenario == row.scenario) {
-          existing = row;
-          replaced = true;
+    for (const TimingRow& row : rows_) merged.push_back(row);
+    // Dedupe by (bench, scenario), keeping the *last* occurrence in the
+    // position the key first appeared. Files written before the dedupe
+    // existed accumulated one stale row per historical re-run; loading
+    // one of those would otherwise preserve every duplicate forever
+    // (replace-first only ever refreshed the oldest). Baseline rows are
+    // distinct scenario names (`*_baseline`), so they survive dedupe next
+    // to their latest measurement.
+    std::vector<TimingRow> deduped;
+    deduped.reserve(merged.size());
+    for (const TimingRow& row : merged) {
+      bool seen = false;
+      for (TimingRow& kept : deduped) {
+        if (kept.bench == row.bench && kept.scenario == row.scenario) {
+          kept = row;  // later occurrence wins, position is preserved
+          seen = true;
           break;
         }
       }
-      if (!replaced) merged.push_back(row);
+      if (!seen) deduped.push_back(row);
     }
+    merged = std::move(deduped);
 
     io::JsonWriter writer;
     writer.begin_object();
+    writer.key("schema_version");
+    writer.value(std::uint64_t{2});
     writer.key("scenarios");
     writer.begin_array();
     for (const TimingRow& row : merged) {

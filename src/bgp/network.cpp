@@ -135,12 +135,22 @@ net::SimTime BgpNetwork::edge_delay(net::Asn from, net::Asn to,
   return base + static_cast<net::SimTime>(h % 20);
 }
 
+std::uint32_t BgpNetwork::channel_for(const net::Prefix& prefix) {
+  if (const auto it = channel_index_.find(prefix);
+      it != channel_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(channels_.size());
+  channel_index_.insert_or_assign(prefix, id);
+  channels_.push_back(Channel{prefix, {}});
+  return id;
+}
+
 void BgpNetwork::enqueue(net::Asn from, net::Asn to,
-                         const UpdateMessage& update) {
+                         const UpdateMessage& update, net::SimTime now) {
   PendingMessage msg;
   EdgeFlowState& flow = edge_flow_[EdgePrefixKey{from, to, update.prefix}];
-  msg.deliver_at =
-      clock_.now() + edge_delay(from, to, update.prefix, flow.sent);
+  msg.deliver_at = now + edge_delay(from, to, update.prefix, flow.sent);
   ++flow.sent;
   // Per-(session, prefix) FIFO: an update for a prefix never overtakes an
   // earlier one on the same session (BGP runs over TCP).
@@ -152,10 +162,21 @@ void BgpNetwork::enqueue(net::Asn from, net::Asn to,
   msg.from = from;
   msg.to = to;
   msg.update = update;
-  queue_.push(msg);
+  const std::uint32_t id = channel_for(update.prefix);
+  Channel& channel = channels_[id];
+  channel.queue.push(msg);
+  ++total_pending_;
+  // Inside a run, a message that becomes its channel's new head must
+  // surface in the active heap (emissions only ever target in-scope
+  // prefixes — processing a prefix generates messages for that prefix
+  // alone — so no scope check is needed here).
+  if (run_active_ && channel.queue.top().seq == msg.seq) {
+    active_.push(ActiveHead{msg.deliver_at, msg.seq, id});
+  }
 }
 
-void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix) {
+void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix,
+                               net::SimTime now) {
   // Resolve the per-prefix export inputs once; the loop below asks a
   // per-session question per neighbor.
   const Speaker::ExportProbe probe = from.export_probe(prefix);
@@ -179,22 +200,23 @@ void BgpNetwork::flush_exports(Speaker& from, const net::Prefix& prefix) {
         sent_.insert_or_assign(
             key, SentState{false, announcement->path, announcement->origin});
       }
-      enqueue(from.asn(), session.neighbor, *announcement);
+      enqueue(from.asn(), session.neighbor, *announcement, now);
     } else {
       if (it == sent_.end() || it->second.withdrawn) continue;
       it->second = SentState{};
       UpdateMessage withdraw;
       withdraw.prefix = prefix;
       withdraw.withdraw = true;
-      enqueue(from.asn(), session.neighbor, withdraw);
+      enqueue(from.asn(), session.neighbor, withdraw, now);
     }
   }
   if (collector_peers_.count(from.asn()) != 0) {
-    record_collector(from.asn(), prefix);
+    record_collector(from.asn(), prefix, now);
   }
 }
 
-void BgpNetwork::record_collector(net::Asn peer, const net::Prefix& prefix) {
+void BgpNetwork::record_collector(net::Asn peer, const net::Prefix& prefix,
+                                  net::SimTime now) {
   Speaker* s = speaker(peer);
   if (s == nullptr) return;
   // A VRF-split AS feeds the collector from its commodity VRF (§4.1.1).
@@ -212,12 +234,11 @@ void BgpNetwork::record_collector(net::Asn peer, const net::Prefix& prefix) {
       collector_sent_.insert_or_assign(
           key, SentState{false, exported, view->origin});
     }
-    log_.record(clock_.now(), peer, prefix, false, paths_.span(exported));
+    log_.record(now, peer, prefix, false, paths_.span(exported));
   } else {
     if (it == collector_sent_.end() || it->second.withdrawn) return;
     it->second = SentState{};
-    log_.record(clock_.now(), peer, prefix, true,
-                std::span<const net::Asn>{});
+    log_.record(now, peer, prefix, true, std::span<const net::Asn>{});
   }
 }
 
@@ -225,27 +246,31 @@ void BgpNetwork::announce(net::Asn origin, const net::Prefix& prefix,
                           OriginationOptions options) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
+  dirty_.insert(prefix);
   s->originate(prefix, clock_.now(), options);
-  flush_exports(*s, prefix);
+  flush_exports(*s, prefix, clock_.now());
 }
 
 void BgpNetwork::withdraw(net::Asn origin, const net::Prefix& prefix) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
+  dirty_.insert(prefix);
   s->withdraw_origination(prefix, clock_.now());
-  flush_exports(*s, prefix);
+  flush_exports(*s, prefix, clock_.now());
 }
 
 void BgpNetwork::set_origin_prepend(net::Asn origin, const net::Prefix& prefix,
                                     std::uint32_t extra_prepends) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
+  dirty_.insert(prefix);
   s->export_policy().default_prepend = extra_prepends;
   // Best route is unchanged at the origin; only the exported form differs.
-  flush_exports(*s, prefix);
+  flush_exports(*s, prefix, clock_.now());
 }
 
 void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix) {
+  dirty_.insert(prefix);
   // Sever the session first, in both directions, so that nothing queued
   // below (or already in flight) can cross it: the repropagation a
   // failure triggers must never resurrect the failed link itself.
@@ -261,9 +286,11 @@ void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix)
     if (s == nullptr) continue;
     // Local state cleanup — the neighbor's route died with the session.
     if (s->invalidate_neighbor_route(remote, prefix, clock_.now())) {
-      flush_exports(*s, prefix);
+      flush_exports(*s, prefix, clock_.now());
     }
-    if (collector_peers_.count(local) != 0) record_collector(local, prefix);
+    if (collector_peers_.count(local) != 0) {
+      record_collector(local, prefix, clock_.now());
+    }
     // Forget what was sent over the dead session so that restoration
     // re-advertises from scratch.
     sent_.erase(EdgePrefixKey{local, remote, prefix});
@@ -272,6 +299,7 @@ void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix)
 
 void BgpNetwork::restore_session(net::Asn a, net::Asn b,
                                  const net::Prefix& prefix) {
+  dirty_.insert(prefix);
   // Bring both directions up before flushing either side, so each end's
   // re-advertisement sees the session as usable.
   for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
@@ -282,71 +310,212 @@ void BgpNetwork::restore_session(net::Asn a, net::Asn b,
   for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
     Speaker* s = speaker(local);
     if (s == nullptr) continue;
-    flush_exports(*s, prefix);
+    flush_exports(*s, prefix, clock_.now());
   }
 }
 
 void BgpNetwork::drop_in_flight(net::Asn a, net::Asn b,
                                 const net::Prefix& prefix) {
-  if (queue_.empty()) return;
+  const auto it = channel_index_.find(prefix);
+  if (it == channel_index_.end()) return;
+  Channel& channel = channels_[it->second];
+  if (channel.queue.empty()) return;
   std::vector<PendingMessage> keep;
-  keep.reserve(queue_.size());
-  while (!queue_.empty()) {
-    const PendingMessage& top = queue_.top();
-    const bool crosses = top.update.prefix == prefix &&
-                         ((top.from == a && top.to == b) ||
-                          (top.from == b && top.to == a));
+  keep.reserve(channel.queue.size());
+  while (!channel.queue.empty()) {
+    const PendingMessage& top = channel.queue.top();
+    const bool crosses = (top.from == a && top.to == b) ||
+                         (top.from == b && top.to == a);
     if (!crosses) keep.push_back(top);
-    queue_.pop();
+    channel.queue.pop();
+    --total_pending_;
   }
-  for (auto& msg : keep) queue_.push(std::move(msg));
+  total_pending_ += keep.size();
+  for (auto& msg : keep) channel.queue.push(std::move(msg));
 }
 
 ConvergenceStats BgpNetwork::run_to_convergence() {
   return run_until(std::numeric_limits<net::SimTime>::max());
 }
 
-void BgpNetwork::deliver(const PendingMessage& msg, ConvergenceStats& stats) {
+ConvergenceStats BgpNetwork::run_to_convergence(
+    std::span<const net::Prefix> scope) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(scope.size());
+  for (const net::Prefix& prefix : scope) ids.push_back(channel_for(prefix));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ConvergenceStats stats =
+      run_channels(ids, false, std::numeric_limits<net::SimTime>::max());
+  // Every scoped channel drained: these prefixes are converged.
+  for (const net::Prefix& prefix : scope) dirty_.erase(prefix);
+  return stats;
+}
+
+ConvergenceStats BgpNetwork::run_dirty_to_convergence() {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(dirty_.size());
+  // Explicitly perturbed prefixes first (a flush that emitted nothing
+  // still counts as dirty — it converges trivially), then anything with
+  // messages in flight (deferred or deadline-stranded work).
+  for (const net::Prefix& prefix : dirty_) ids.push_back(channel_for(prefix));
+  for (std::uint32_t id = 0; id < channels_.size(); ++id) {
+    if (!channels_[id].queue.empty() && !dirty_.contains(channels_[id].prefix)) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ConvergenceStats stats =
+      run_channels(ids, false, std::numeric_limits<net::SimTime>::max());
+  dirty_.clear();
+  return stats;
+}
+
+std::vector<net::Prefix> BgpNetwork::dirty_prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(dirty_.size());
+  for (const net::Prefix& prefix : dirty_) out.push_back(prefix);
+  for (const Channel& channel : channels_) {
+    if (!channel.queue.empty() && !dirty_.contains(channel.prefix)) {
+      out.push_back(channel.prefix);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BgpNetwork::deliver(const PendingMessage& msg, ConvergenceStats& stats,
+                         net::SimTime now) {
   Speaker* to = speaker(msg.to);
   if (to == nullptr) return;
   ++stats.messages_delivered;
-  const bool changed = to->receive(msg.from, msg.update, clock_.now());
+  touched_speakers_.insert(msg.to);
+  const bool changed = to->receive(msg.from, msg.update, now);
   if (changed) {
     ++stats.best_changes;
-    flush_exports(*to, msg.update.prefix);
+    flush_exports(*to, msg.update.prefix, now);
   } else if (collector_peers_.count(msg.to) != 0) {
     // The exported best may be unchanged while the commodity-VRF view
     // (what this peer feeds the collector) changed.
-    record_collector(msg.to, msg.update.prefix);
+    record_collector(msg.to, msg.update.prefix, now);
   }
 }
 
 ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
+  ConvergenceStats stats = run_channels({}, true, deadline);
+  // A full run visits every channel: whatever drained is converged, and
+  // whatever a deadline stranded stays implicitly dirty via its pending
+  // messages — the explicit set has nothing left to say.
+  dirty_.clear();
+  return stats;
+}
+
+ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
+                                          bool full, net::SimTime deadline) {
   const auto wall_start = WallClock::now();
   ConvergenceStats stats;
   const std::size_t width = workers();
-  while (!queue_.empty() && queue_.top().deliver_at <= deadline) {
-    // Gather the round: every message due at this tick. Every edge delay
-    // is >= 1, so anything a delivery emits lands at a strictly later
-    // tick — the round set is closed once the tick starts.
-    const net::SimTime tick = queue_.top().deliver_at;
+  touched_speakers_.reset();
+
+  // Seed the active-head heap from the scoped channels.
+  active_ = {};
+  std::size_t scoped_pending = 0;
+  std::size_t scoped_channels = 0;
+  const auto seed = [&](std::uint32_t id) {
+    const Channel& channel = channels_[id];
+    ++scoped_channels;
+    scoped_pending += channel.queue.size();
+    if (!channel.queue.empty()) {
+      const PendingMessage& head = channel.queue.top();
+      active_.push(ActiveHead{head.deliver_at, head.seq, id});
+    }
+  };
+  if (full) {
+    for (std::uint32_t id = 0; id < channels_.size(); ++id) {
+      if (!channels_[id].queue.empty()) seed(id);
+    }
+  } else {
+    for (const std::uint32_t id : scope) seed(id);
+  }
+  stats.perf.prefixes_dirty = scoped_channels;
+  stats.perf.messages_skipped_by_scope = total_pending_ - scoped_pending;
+  run_active_ = true;
+
+  while (!active_.empty()) {
+    const ActiveHead top = active_.top();
+    {
+      const Channel& channel = channels_[top.channel];
+      if (channel.queue.empty() || channel.queue.top().seq != top.seq) {
+        active_.pop();  // stale: this head was popped or superseded
+        continue;
+      }
+    }
+    if (top.at > deadline) break;
+    // Gather the round: every in-scope message due at this tick, across
+    // all channels. Every edge delay is >= 1, so anything a delivery
+    // emits lands at a strictly later tick — the round set is closed once
+    // the tick starts. The clock never rewinds: a deferred channel
+    // catching up on past ticks runs with the tick itself (`tick` below),
+    // not the clock, so its deliveries see the same timestamps an eager
+    // run gave them.
+    const net::SimTime tick = top.at;
     clock_.advance_to(tick);
     round_.clear();
-    while (!queue_.empty() && queue_.top().deliver_at == tick) {
-      round_.push_back(queue_.top());  // pop order == seq order within a tick
-      queue_.pop();
+    touched_channels_.clear();
+    while (!active_.empty() && active_.top().at == tick) {
+      const ActiveHead head = active_.top();
+      active_.pop();
+      Channel& channel = channels_[head.channel];
+      if (channel.queue.empty() || channel.queue.top().deliver_at != tick) {
+        continue;  // stale or duplicate entry; the live head is elsewhere
+      }
+      while (!channel.queue.empty() &&
+             channel.queue.top().deliver_at == tick) {
+        round_.push_back(channel.queue.top());
+        channel.queue.pop();
+        --total_pending_;
+      }
+      touched_channels_.push_back(head.channel);
     }
+    // Global (deliver_at, seq) order: within a tick, messages interleave
+    // across channels exactly as the single-queue engine popped them.
+    std::sort(round_.begin(), round_.end(),
+              [](const PendingMessage& a, const PendingMessage& b) {
+                return a.seq < b.seq;
+              });
     ++stats.perf.rounds;
     if (width > 1 && round_.size() >= kMinParallelRound) {
-      run_round_parallel(stats);
+      run_round_parallel(stats, tick);
     } else {
-      for (const PendingMessage& msg : round_) deliver(msg, stats);
+      for (const PendingMessage& msg : round_) deliver(msg, stats, tick);
+    }
+    // Channels drained at this tick may have fresh emissions; their new
+    // heads re-enter the heap here. (enqueue also pushes heads, so some
+    // entries are duplicates — the stale check above absorbs them.)
+    for (const std::uint32_t id : touched_channels_) {
+      const Channel& channel = channels_[id];
+      if (!channel.queue.empty()) {
+        const PendingMessage& head = channel.queue.top();
+        active_.push(ActiveHead{head.deliver_at, head.seq, id});
+      }
     }
   }
+  run_active_ = false;
+  active_ = {};
+
   stats.converged_at = clock_.now();
-  stats.fully_converged = queue_.empty();
+  if (full) {
+    stats.fully_converged = total_pending_ == 0;
+  } else {
+    stats.fully_converged = true;  // scoped runs have no deadline: the
+    for (const std::uint32_t id : scope) {  // loop exits when scope drains
+      if (!channels_[id].queue.empty()) stats.fully_converged = false;
+    }
+  }
 
   stats.perf.messages_delivered = stats.messages_delivered;
+  stats.perf.speakers_touched = touched_speakers_.size();
   stats.perf.interned_paths = paths_.size();
   stats.perf.arena_bytes = paths_.arena_bytes();
   stats.perf.intra_workers = width;
@@ -372,7 +541,8 @@ ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
   return stats;
 }
 
-void BgpNetwork::run_round_parallel(ConvergenceStats& stats) {
+void BgpNetwork::run_round_parallel(ConvergenceStats& stats,
+                                    net::SimTime now) {
   const std::size_t n = round_.size();
 
   // Group the round by destination speaker, first-appearance order.
@@ -394,6 +564,7 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats) {
       RoundGroup g;
       g.to = speaker(dest);  // nullptr => messages are dropped, as serial
       g.is_collector = collector_peers_.count(dest) != 0;
+      if (g.to != nullptr) touched_speakers_.insert(dest);
       groups_.push_back(g);
     }
     group_of_msg[i] = it->second;
@@ -476,7 +647,7 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats) {
       for (std::uint32_t p = group.begin; p < group.end; ++p) {
         const std::uint32_t i = round_order_[p];
         effects_[i].worker = static_cast<std::uint32_t>(s);
-        stage_message(round_[i], group, ws, effects_[i]);
+        stage_message(round_[i], group, ws, effects_[i], now);
       }
     }
     ws.busy_seconds = seconds_since(busy_start);
@@ -503,16 +674,16 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats) {
     for (std::uint32_t e = eff.emit_begin; e < eff.emit_end; ++e) {
       StagedEmission& em = ws.emissions[e];
       if (!em.update.withdraw) em.update.path = ws.stager.resolve(em.update.path);
-      enqueue(msg.to, em.to, em.update);
+      enqueue(msg.to, em.to, em.update, now);
     }
     if (eff.collector != kNoCollectorRecord) {
       StagedCollector& rec = ws.collector_records[eff.collector];
       if (rec.withdraw) {
-        log_.record(clock_.now(), msg.to, msg.update.prefix, true,
+        log_.record(now, msg.to, msg.update.prefix, true,
                     std::span<const net::Asn>{});
       } else {
         const PathId exported = ws.stager.resolve(rec.path);
-        log_.record(clock_.now(), msg.to, msg.update.prefix, false,
+        log_.record(now, msg.to, msg.update.prefix, false,
                     paths_.span(exported));
       }
     }
@@ -542,10 +713,10 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats) {
 
 void BgpNetwork::stage_message(const PendingMessage& msg,
                                const RoundGroup& group, WorkerState& worker,
-                               MessageEffects& effects) {
+                               MessageEffects& effects, net::SimTime now) {
   effects.delivered = true;
   effects.emit_begin = static_cast<std::uint32_t>(worker.emissions.size());
-  const bool changed = group.to->receive(msg.from, msg.update, clock_.now());
+  const bool changed = group.to->receive(msg.from, msg.update, now);
   effects.changed = changed;
   if (changed) stage_flush(*group.to, msg.update.prefix, worker);
   if (group.is_collector) {
@@ -622,9 +793,14 @@ void BgpNetwork::stage_collector(const Speaker& peer, const net::Prefix& prefix,
 }
 
 ConvergenceStats BgpNetwork::settle(const net::Prefix& prefix) {
+  dirty_.insert(prefix);
   for (const auto& s : speakers_) {
-    if (s->reevaluate(prefix, clock_.now())) flush_exports(*s, prefix);
+    if (s->reevaluate(prefix, clock_.now())) {
+      flush_exports(*s, prefix, clock_.now());
+    }
   }
+  // Full-scope drain on purpose: callers (beacon schedules, partial-failure
+  // tests) expect a settled network afterwards, not just a settled prefix.
   return run_to_convergence();
 }
 
@@ -641,18 +817,16 @@ void BgpNetwork::clear_prefix(const net::Prefix& prefix) {
   // clear must see the exact timeline a fresh network would give it
   // (rib_survey's batched sweeps rely on this for solo/batch identity).
   edge_flow_.erase_if([&](const auto& kv) { return kv.first.prefix == prefix; });
-  // The queue is expected to be drained before clearing; any stragglers
+  // The channel is expected to be drained before clearing; any stragglers
   // for this prefix are dropped on delivery because state was erased...
   // but dropping them here keeps semantics crisp.
-  if (!queue_.empty()) {
-    std::vector<PendingMessage> keep;
-    keep.reserve(queue_.size());
-    while (!queue_.empty()) {
-      if (queue_.top().update.prefix != prefix) keep.push_back(queue_.top());
-      queue_.pop();
-    }
-    for (auto& msg : keep) queue_.push(std::move(msg));
+  if (const auto it = channel_index_.find(prefix);
+      it != channel_index_.end()) {
+    Channel& channel = channels_[it->second];
+    total_pending_ -= channel.queue.size();
+    channel.queue = {};
   }
+  dirty_.erase(prefix);
 }
 
 }  // namespace re::bgp

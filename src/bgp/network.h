@@ -23,6 +23,20 @@
 // exactly the order a serial run performs them, which makes the parallel
 // schedule bit-identical to the serial one (see DESIGN.md §5c).
 //
+// The message pipeline is partitioned by prefix: each prefix owns a
+// channel (its own priority queue), and a run drains a chosen set of
+// channels — all of them (the classic full run) or only the prefixes a
+// mutation dirtied (run_dirty_to_convergence / the scoped overload).
+// Because BGP state for distinct prefixes is independent in this model
+// (per-prefix RIB entries, per-(edge,prefix) FIFO clamps and flow
+// counters, per-prefix damping, per-(edge,prefix) duplicate suppression),
+// a scoped run performs exactly the deliveries a full run would perform
+// for those prefixes, and out-of-scope messages wait untouched. Deferred
+// channels catch up later at their original delivery ticks — the tick is
+// threaded through the delivery path rather than read from the clock —
+// so their per-prefix outcome is the same whether they were drained
+// eagerly or lazily (see DESIGN.md §5e).
+//
 // The network owns the PathTable all its speakers intern into: queued
 // messages and edge suppression state carry 32-bit PathIds, and the hot
 // maps (speaker index, per-edge-flow FIFO clamps, duplicate-suppression
@@ -34,6 +48,7 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -140,13 +155,31 @@ class BgpNetwork {
   // Delivers queued messages in timestamp order until the queue drains.
   ConvergenceStats run_to_convergence();
 
+  // Scoped run: drains only the channels of the given prefixes, leaving
+  // every other prefix's messages queued (they catch up in a later run,
+  // at their original delivery times). Per-prefix independence makes the
+  // scoped outcome for these prefixes identical to a full run's.
+  ConvergenceStats run_to_convergence(std::span<const net::Prefix> scope);
+
+  // Delta-driven run: converges exactly the dirty prefixes — those
+  // perturbed by announce/withdraw/set_origin_prepend/fail_session/
+  // restore_session since they last drained, plus any with messages
+  // still in flight — and clears the dirty set. A prepend round on a
+  // converged baseline touches one prefix out of thousands; this is the
+  // entry point that makes such rounds O(that prefix).
+  ConvergenceStats run_dirty_to_convergence();
+
   // Delivers only messages scheduled at or before `deadline`, leaving later
   // ones queued (used to probe a network that has NOT converged — the
   // ablation counterpart of the paper's one-hour wait).
   ConvergenceStats run_until(net::SimTime deadline);
 
-  bool converged() const noexcept { return queue_.empty(); }
-  std::size_t pending_messages() const noexcept { return queue_.size(); }
+  bool converged() const noexcept { return total_pending_ == 0; }
+  std::size_t pending_messages() const noexcept { return total_pending_; }
+
+  // The prefixes a run_dirty_to_convergence() call would converge right
+  // now, sorted (explicitly perturbed plus in-flight).
+  std::vector<net::Prefix> dirty_prefixes() const;
 
   // Re-runs decisions network-wide for `prefix` (e.g. after damping decay)
   // and propagates any changes to convergence.
@@ -186,6 +219,16 @@ class BgpNetwork {
   // the same schedule produce equal digests, at any worker count.
   std::uint64_t state_digest();
 
+  // Content digest over everything the network knows about one prefix:
+  // every speaker's RIB/damping/failure state for it, the per-edge flow
+  // and suppression entries, and the pending-message count. AS paths are
+  // written as their contents, not PathIds, so two runs that interleaved
+  // prefixes differently (and therefore interned in different orders)
+  // still compare equal when their per-prefix outcomes match. This is the
+  // equivalence gate for deferred catch-up, where global seq/intern order
+  // legitimately diverges from an eager full run.
+  std::uint64_t prefix_state_digest(const net::Prefix& prefix) const;
+
   // --- Maintenance -----------------------------------------------------------
 
   // Drops all state for `prefix` everywhere (used when sweeping many
@@ -204,6 +247,31 @@ class BgpNetwork {
     bool operator()(const PendingMessage& a, const PendingMessage& b) const {
       return a.deliver_at != b.deliver_at ? a.deliver_at > b.deliver_at
                                           : a.seq > b.seq;
+    }
+  };
+
+  // One prefix's slice of the message pipeline. Slots are created on
+  // first enqueue and persist (empty) after clear_prefix, so channel ids
+  // stay stable for a network's lifetime.
+  struct Channel {
+    net::Prefix prefix;
+    std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
+        queue;
+  };
+
+  // An entry in the active-head heap: the head (deliver_at, seq) of one
+  // in-scope channel at push time. Entries go stale when the head they
+  // describe is popped or superseded; the run loop validates each entry
+  // against the channel's actual head and discards mismatches. Every head
+  // change pushes a fresh entry, so a live channel always has a valid one.
+  struct ActiveHead {
+    net::SimTime at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t channel = 0;
+  };
+  struct HeadLaterFirst {
+    bool operator()(const ActiveHead& a, const ActiveHead& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
@@ -285,28 +353,44 @@ class BgpNetwork {
   };
 
   // Queues this speaker's current exports for `prefix` toward all
-  // sessions, suppressing duplicates.
-  void flush_exports(Speaker& from, const net::Prefix& prefix);
+  // sessions, suppressing duplicates. `now` is the simulated time the
+  // flush happens at — the current round's tick inside a run (which may
+  // lag the clock during deferred catch-up), the clock time from mutators.
+  void flush_exports(Speaker& from, const net::Prefix& prefix,
+                     net::SimTime now);
 
   // Records the collector view of `peer` for `prefix` if it changed.
-  void record_collector(net::Asn peer, const net::Prefix& prefix);
+  void record_collector(net::Asn peer, const net::Prefix& prefix,
+                        net::SimTime now);
 
-  void enqueue(net::Asn from, net::Asn to, const UpdateMessage& update);
+  void enqueue(net::Asn from, net::Asn to, const UpdateMessage& update,
+               net::SimTime now);
 
-  // Serial delivery of one message (the reference semantics).
-  void deliver(const PendingMessage& msg, ConvergenceStats& stats);
+  // Serial delivery of one message at its tick (the reference semantics).
+  void deliver(const PendingMessage& msg, ConvergenceStats& stats,
+               net::SimTime now);
 
   // Parallel round: shard by destination, stage, merge canonically.
-  void run_round_parallel(ConvergenceStats& stats);
+  void run_round_parallel(ConvergenceStats& stats, net::SimTime now);
 
   // Worker phase for one message; stages effects instead of mutating
   // shared state.
   void stage_message(const PendingMessage& msg, const RoundGroup& group,
-                     WorkerState& worker, MessageEffects& effects);
+                     WorkerState& worker, MessageEffects& effects,
+                     net::SimTime now);
   void stage_flush(Speaker& from, const net::Prefix& prefix,
                    WorkerState& worker);
   void stage_collector(const Speaker& peer, const net::Prefix& prefix,
                        WorkerState& worker, MessageEffects& effects);
+
+  // The channel slot for `prefix`, created on first use.
+  std::uint32_t channel_for(const net::Prefix& prefix);
+
+  // The engine shared by every run flavor: drains the scoped channels
+  // (all of them when `full`) in global (deliver_at, seq) order up to
+  // `deadline`. Scope ids must be distinct.
+  ConvergenceStats run_channels(std::span<const std::uint32_t> scope,
+                                bool full, net::SimTime deadline);
 
   // Removes queued messages for `prefix` crossing the (a, b) session in
   // either direction (they died with the session).
@@ -322,9 +406,25 @@ class BgpNetwork {
   PathTable paths_;  // must outlive speakers_ (they hold a pointer to it)
   std::vector<std::unique_ptr<Speaker>> speakers_;  // stable addresses
   net::FlatMap<net::Asn, std::size_t> index_;
-  std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
-      queue_;
+
+  // Per-prefix message channels (see Channel above) plus the prefixes
+  // explicitly perturbed since they last drained. The effective dirty set
+  // is dirty_ ∪ {prefixes with non-empty channels}: a mutation whose
+  // flush emitted nothing still shows up (trivially converged), and
+  // messages deferred past a run_until deadline stay dirty without any
+  // bookkeeping on the enqueue hot path.
+  std::vector<Channel> channels_;
+  net::FlatMap<net::Prefix, std::uint32_t> channel_index_;
+  std::size_t total_pending_ = 0;
+  net::FlatSet<net::Prefix> dirty_;
   std::uint64_t next_seq_ = 0;
+
+  // Active-head heap + scratch, live only inside run_channels.
+  std::priority_queue<ActiveHead, std::vector<ActiveHead>, HeadLaterFirst>
+      active_;
+  std::vector<std::uint32_t> touched_channels_;
+  net::FlatSet<net::Asn> touched_speakers_;  // per-run distinct destinations
+  bool run_active_ = false;  // enqueue feeds active_ only during a run
   net::FlatMap<EdgePrefixKey, EdgeFlowState, EdgePrefixKeyHash> edge_flow_;
   net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
 

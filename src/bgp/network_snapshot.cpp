@@ -31,12 +31,23 @@ BgpNetwork::Snapshot BgpNetwork::checkpoint() {
   for (const auto& speaker : speakers_) {
     snap.speakers.push_back(speaker->snapshot());
   }
-  auto queue_copy = queue_;  // drain a copy: entries come out (time, seq)
-  snap.queue.reserve(queue_copy.size());
-  while (!queue_copy.empty()) {
-    snap.queue.push_back(queue_copy.top());
-    queue_copy.pop();
+  // Gather in-flight messages across all per-prefix channels, then order
+  // them globally by (time, seq) — the same canonical order the old
+  // single-queue engine drained a copy in, so the encode format (and
+  // therefore every digest) is unchanged by the channel partition.
+  snap.queue.reserve(total_pending_);
+  for (const Channel& channel : channels_) {
+    auto queue_copy = channel.queue;
+    while (!queue_copy.empty()) {
+      snap.queue.push_back(queue_copy.top());
+      queue_copy.pop();
+    }
   }
+  std::sort(snap.queue.begin(), snap.queue.end(),
+            [](const PendingMessage& a, const PendingMessage& b) {
+              return std::tie(a.deliver_at, a.seq) <
+                     std::tie(b.deliver_at, b.seq);
+            });
   snap.next_seq = next_seq_;
   snap.edge_flow = edge_flow_;
   snap.sent = sent_;
@@ -56,8 +67,19 @@ void BgpNetwork::restore(const Snapshot& snap) {
   for (const Speaker::Snapshot& speaker : snap.speakers) {
     add_speaker(speaker.asn).restore(speaker);
   }
-  queue_ = {};
-  for (const PendingMessage& msg : snap.queue) queue_.push(msg);
+  channels_.clear();
+  channel_index_.clear();
+  total_pending_ = 0;
+  active_ = {};
+  run_active_ = false;
+  // No explicit dirty carry-over: everything queued is implicitly dirty
+  // (run_dirty_to_convergence scans non-empty channels), and a fork's
+  // first mutation re-seeds the explicit set.
+  dirty_.clear();
+  for (const PendingMessage& msg : snap.queue) {
+    channels_[channel_for(msg.update.prefix)].queue.push(msg);
+    ++total_pending_;
+  }
   next_seq_ = snap.next_seq;
   edge_flow_ = snap.edge_flow;
   sent_ = snap.sent;
@@ -82,6 +104,113 @@ void BgpNetwork::restore(const Snapshot& snap) {
 }
 
 std::uint64_t BgpNetwork::state_digest() { return checkpoint().digest(); }
+
+std::uint64_t BgpNetwork::prefix_state_digest(const net::Prefix& prefix) const {
+  // Canonical *content* encoding of everything the network knows about one
+  // prefix: per-speaker RIB/damping/failure state, per-edge send history
+  // and FIFO clamps, in-flight messages, and the collector-log slice. AS
+  // paths are written as ASN sequences, never PathIds, and global message
+  // seqs are omitted: intern order and seq values legitimately differ
+  // between a full run and a scoped run that deferred other prefixes'
+  // churn, while per-prefix content and relative order do not (per-prefix
+  // state independence — DESIGN.md §5e). This is the equivalence gate for
+  // deferred catch-up; same-schedule runs can use the stricter
+  // state_digest.
+  net::BinaryWriter w;
+  w.u32(prefix.network().value());
+  w.u8(prefix.length());
+
+  w.u64(speakers_.size());
+  for (const auto& speaker : speakers_) {  // insertion order: topology order
+    speaker->encode_prefix_state(prefix, w);
+  }
+
+  const auto key_less = [](const EdgePrefixKey& a, const EdgePrefixKey& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  };
+  const auto encode_path_contents = [&](PathId id) {
+    const auto path = paths_.span(id);
+    w.u64(path.size());
+    for (const net::Asn hop : path) w.u32(hop.value());
+  };
+  const auto encode_sent_map = [&](const auto& map) {
+    std::vector<const std::pair<EdgePrefixKey, SentState>*> rows;
+    for (const auto& kv : map) {
+      if (kv.first.prefix == prefix) rows.push_back(&kv);
+    }
+    std::sort(rows.begin(), rows.end(), [&](const auto* a, const auto* b) {
+      return key_less(a->first, b->first);
+    });
+    w.u64(rows.size());
+    for (const auto* kv : rows) {
+      w.u32(kv->first.from.value());
+      w.u32(kv->first.to.value());
+      w.boolean(kv->second.withdrawn);
+      if (!kv->second.withdrawn) encode_path_contents(kv->second.path);
+      w.u8(static_cast<std::uint8_t>(kv->second.origin));
+    }
+  };
+  encode_sent_map(sent_);
+  encode_sent_map(collector_sent_);
+
+  {
+    std::vector<const std::pair<EdgePrefixKey, EdgeFlowState>*> rows;
+    for (const auto& kv : edge_flow_) {
+      if (kv.first.prefix == prefix) rows.push_back(&kv);
+    }
+    std::sort(rows.begin(), rows.end(), [&](const auto* a, const auto* b) {
+      return key_less(a->first, b->first);
+    });
+    w.u64(rows.size());
+    for (const auto* kv : rows) {
+      w.u32(kv->first.from.value());
+      w.u32(kv->first.to.value());
+      w.i64(kv->second.last_delivery);
+      w.u32(kv->second.sent);
+    }
+  }
+
+  // In-flight messages, in (deliver_at, seq) order but with the seq values
+  // themselves omitted — per-prefix relative order is run-invariant, the
+  // absolute seqs are not.
+  if (const auto it = channel_index_.find(prefix);
+      it != channel_index_.end()) {
+    auto queue_copy = channels_[it->second].queue;
+    w.u64(queue_copy.size());
+    while (!queue_copy.empty()) {
+      const PendingMessage& msg = queue_copy.top();
+      w.i64(msg.deliver_at);
+      w.u32(msg.from.value());
+      w.u32(msg.to.value());
+      w.boolean(msg.update.withdraw);
+      if (!msg.update.withdraw) encode_path_contents(msg.update.path);
+      w.u8(static_cast<std::uint8_t>(msg.update.origin));
+      w.u32(msg.update.med);
+      w.boolean(msg.update.re_only);
+      queue_copy.pop();
+    }
+  } else {
+    w.u64(0);
+  }
+
+  // Collector-log slice for the prefix, in record order.
+  for (const CollectorUpdate& update : log_.updates()) {
+    if (update.prefix != prefix) continue;
+    w.i64(update.time);
+    w.u32(update.peer.value());
+    w.boolean(update.withdraw);
+    const auto path = log_.path_span(update);
+    w.u64(path.size());
+    for (const net::Asn hop : path) w.u32(hop.value());
+  }
+
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t byte : w.bytes()) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  }
+  return net::mix64(h);
+}
 
 std::unique_ptr<BgpNetwork> BgpNetwork::Snapshot::fork() const {
   auto network = std::make_unique<BgpNetwork>(seed);

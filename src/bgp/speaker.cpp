@@ -712,4 +712,64 @@ Speaker::Snapshot Speaker::Snapshot::decode(net::BinaryReader& r) {
   return snap;
 }
 
+void Speaker::encode_prefix_state(const net::Prefix& prefix,
+                                  net::BinaryWriter& w) const {
+  encode_asn(w, asn_);
+  // Routes by *content*: the AS path is written as its ASN sequence, not
+  // its PathId (see the header comment — intern order is run-dependent).
+  const auto content_route = [&](const Route& route) {
+    const auto path = paths_->span(route.path);
+    w.u64(path.size());
+    for (const net::Asn hop : path) encode_asn(w, hop);
+    w.u32(route.path_length);
+    encode_asn(w, route.path_first);
+    w.u8(static_cast<std::uint8_t>(route.origin));
+    w.u32(route.local_pref);
+    w.u32(route.med);
+    encode_asn(w, route.learned_from);
+    w.boolean(route.ebgp);
+    w.u32(route.igp_cost);
+    w.u32(route.neighbor_router_id);
+    w.i64(route.established_at);
+    w.boolean(route.re_edge);
+    w.boolean(route.re_only);
+  };
+
+  const auto it = rib_.find(prefix);
+  w.boolean(it != rib_.end());
+  if (it != rib_.end()) {
+    const PrefixState& state = it->second;
+    w.u64(state.in.size());
+    for (const auto* kv : sorted_by_key(state.in)) {
+      encode_asn(w, kv->first);
+      content_route(kv->second);
+    }
+    w.boolean(state.local);
+    w.boolean(state.origination.to_re_sessions);
+    w.boolean(state.origination.to_commodity_sessions);
+    w.boolean(state.origination.re_only);
+    w.i64(state.local_since);
+    w.boolean(state.best.has_value());
+    if (state.best.has_value()) content_route(*state.best);
+    w.u8(static_cast<std::uint8_t>(state.decided_by));
+    w.u64(state.damping.size());
+    for (const auto* kv : sorted_by_key(state.damping)) {
+      encode_asn(w, kv->first);
+      const DampingState::Raw raw = kv->second.raw();
+      w.f64(raw.penalty);
+      w.i64(raw.last_update);
+      w.boolean(raw.suppressed);
+      w.i64(raw.suppressed_since);
+    }
+  }
+
+  std::vector<net::Asn> failed_neighbors;
+  for (const auto& [neighbor, prefixes] : failed_) {
+    if (prefixes.count(prefix) != 0) failed_neighbors.push_back(neighbor);
+  }
+  std::sort(failed_neighbors.begin(), failed_neighbors.end());
+  w.u64(failed_neighbors.size());
+  for (const net::Asn neighbor : failed_neighbors) encode_asn(w, neighbor);
+}
+
 }  // namespace re::bgp

@@ -208,6 +208,16 @@ class Speaker {
   Snapshot snapshot() const;
   void restore(const Snapshot& snap);
 
+  // Canonical *content* encoding of this speaker's state for one prefix:
+  // like Snapshot::encode restricted to the prefix, but AS paths are
+  // written as their ASN contents instead of PathIds. PathId intern order
+  // legitimately differs between a full run and a prefix-scoped run that
+  // deferred other prefixes' churn (cross-prefix interleaving differs),
+  // so equivalence gates must compare path contents, not table ids.
+  // Backs BgpNetwork::prefix_state_digest.
+  void encode_prefix_state(const net::Prefix& prefix,
+                           net::BinaryWriter& w) const;
+
   // --- Maintenance ----------------------------------------------------------
   void clear_prefix(const net::Prefix& prefix);
   std::vector<net::Prefix> known_prefixes() const;

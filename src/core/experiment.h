@@ -19,6 +19,7 @@
 #include "probing/host.h"
 #include "probing/prober.h"
 #include "probing/seeds.h"
+#include "runtime/perf_counters.h"
 #include "runtime/thread_pool.h"
 #include "topology/ecosystem.h"
 
@@ -83,6 +84,14 @@ struct ExperimentConfig {
   // intra-network and trial-level parallelism are alternatives, and
   // ThreadPool::parallel_for does not nest.
   std::size_t intra_workers = 1;
+
+  // Prefix-scoped incremental re-convergence for the prepend rounds (see
+  // BgpNetwork::run_dirty_to_convergence and DESIGN.md §5e). A prepend
+  // change perturbs only the measurement prefix, so rounds 2..9 converge
+  // just that prefix instead of sweeping every channel. Results are
+  // bit-identical either way (digest-gated in CI); the knob exists for
+  // the ablation benches to measure the difference.
+  bool incremental_rounds = true;
 
   std::uint64_t seed = 99;
 
@@ -160,6 +169,13 @@ struct ExperimentResult {
   net::SimTime experiment_start = 0;
   net::SimTime re_phase_end = 0;
   net::SimTime experiment_end = 0;
+
+  // Propagation-side perf counters accumulated over every convergence run
+  // the rounds performed (dirty-prefix counts, scope skips, delivery
+  // fan-out). Diagnostics only: excluded from result_digest and the
+  // checkpoint codec, so warm/cold/incremental runs stay digest-equal
+  // while reporting different counter values.
+  runtime::PerfCounters propagation_perf;
 };
 
 // Runs one experiment end to end on a freshly built network.

@@ -66,7 +66,10 @@ RibSurveyResult run_rib_survey(const topo::Ecosystem& ecosystem,
       origination.to_commodity_sessions = record->traits.announce_to_commodity;
       network.announce(origin, representative->prefix, origination);
     }
-    network.run_to_convergence();
+    // The dirty set is exactly this batch's prefixes, so the scoped run
+    // performs the same deliveries a full sweep would (nothing else is in
+    // flight between batches) without walking the whole channel table.
+    network.run_dirty_to_convergence();
 
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [origin, representative] = sweep[i];

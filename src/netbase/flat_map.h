@@ -374,6 +374,9 @@ class FlatSet {
   std::size_t size() const noexcept { return map_.size(); }
   bool empty() const noexcept { return map_.empty(); }
   void clear() { map_.clear(); }
+  // Empties the set but keeps the slot array (see FlatMap::reset) — for
+  // per-run scratch sets that refill to a similar size every run.
+  void reset() { map_.reset(); }
   void reserve(std::size_t count) { map_.reserve(count); }
 
   const_iterator begin() const { return const_iterator(map_.begin()); }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <thread>
 
 namespace re::runtime {
 
@@ -59,11 +60,27 @@ std::optional<double> parse_positive_double(std::string_view text) noexcept {
   return value;
 }
 
+std::optional<std::size_t> parse_thread_count(std::string_view text,
+                                              std::size_t hardware) noexcept {
+  text = trimmed(text);
+  if (text == "auto") return hardware == 0 ? 1 : hardware;
+  return parse_positive_size(text);
+}
+
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   const auto parsed = parse_positive_size(env);
   if (!parsed) die(name, env, "a positive integer");
+  return *parsed;
+}
+
+std::size_t env_thread_count(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const auto parsed =
+      parse_thread_count(env, std::thread::hardware_concurrency());
+  if (!parsed) die(name, env, "a positive integer or \"auto\"");
   return *parsed;
 }
 

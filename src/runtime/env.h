@@ -25,9 +25,24 @@ std::optional<std::size_t> parse_positive_size(std::string_view text) noexcept;
 // Strict parse of a finite positive double (full-string, > 0).
 std::optional<double> parse_positive_double(std::string_view text) noexcept;
 
+// Strict parse of a thread-count knob: either a positive integer (taken
+// as-is — explicit oversubscription is allowed, benches measure it
+// deliberately) or the word "auto" (case-sensitive), which resolves to
+// `hardware` — pass std::thread::hardware_concurrency(); a 0 report
+// clamps to 1. nullopt on anything else.
+std::optional<std::size_t> parse_thread_count(std::string_view text,
+                                              std::size_t hardware) noexcept;
+
 // Reads env var `name` as a positive integer. Unset or empty -> fallback;
 // set but malformed -> diagnostic on stderr and exit(2).
 std::size_t env_positive_size(const char* name, std::size_t fallback);
+
+// Reads env var `name` as a thread count ("auto" or a positive integer —
+// see parse_thread_count). Unset or empty -> fallback; set but malformed
+// -> diagnostic on stderr and exit(2). "auto" never oversubscribes: the
+// recorded stress_sweep_parallel rows show 8 workers on one core losing
+// to serial, so the automatic choice is capped at the hardware.
+std::size_t env_thread_count(const char* name, std::size_t fallback);
 
 // Reads env var `name` as a finite positive double. Unset or empty ->
 // fallback; set but malformed -> diagnostic on stderr and exit(2).

@@ -38,6 +38,12 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
   barrier_wait_seconds += other.barrier_wait_seconds;
   merge_seconds += other.merge_seconds;
   if (other.intra_workers > intra_workers) intra_workers = other.intra_workers;
+  prefixes_dirty += other.prefixes_dirty;
+  // Touched-speaker counts are per-run distinct sets; summing across runs
+  // over-counts repeats, but the aggregate is still the honest "delivery
+  // fan-out" a sweep paid for, which is what benches compare.
+  speakers_touched += other.speakers_touched;
+  messages_skipped_by_scope += other.messages_skipped_by_scope;
   checkpoints += other.checkpoints;
   forks += other.forks;
   if (other.arena_shared_bytes > arena_shared_bytes) {
@@ -64,6 +70,15 @@ std::string PerfCounters::summary() const {
                   static_cast<unsigned long long>(rounds),
                   static_cast<unsigned long long>(intra_workers),
                   shard_balance(), barrier_wait_seconds, merge_seconds);
+    out += buffer;
+  }
+  if (messages_skipped_by_scope > 0 || prefixes_dirty > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  ", scoped: %llu dirty prefix(es), %llu speakers touched,"
+                  " %llu msgs skipped by scope",
+                  static_cast<unsigned long long>(prefixes_dirty),
+                  static_cast<unsigned long long>(speakers_touched),
+                  static_cast<unsigned long long>(messages_skipped_by_scope));
     out += buffer;
   }
   if (forks > 0 || checkpoints > 0) {

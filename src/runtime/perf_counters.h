@@ -32,6 +32,15 @@ struct PerfCounters {
   double merge_seconds = 0.0;           // serial canonical-merge time
   std::uint64_t intra_workers = 1;      // round-sharding width of the run
 
+  // Prefix-scoped incremental convergence (see BgpNetwork::
+  // run_dirty_to_convergence). Full-scope runs leave all three at zero
+  // except prefixes_dirty/speakers_touched, which describe any run.
+  std::uint64_t prefixes_dirty = 0;    // prefixes in the run's scope
+  std::uint64_t speakers_touched = 0;  // distinct speakers delivered to
+  std::uint64_t messages_skipped_by_scope = 0;  // pending messages left
+                                                // queued because their
+                                                // prefix was out of scope
+
   // Checkpoint/fork engine (see BgpNetwork::checkpoint / Snapshot::fork).
   std::uint64_t checkpoints = 0;          // snapshots taken from this network
   std::uint64_t forks = 0;                // 1 when this network was forked

@@ -9,7 +9,10 @@ namespace re::runtime {
 
 std::size_t ThreadPool::default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return env_positive_size("RE_THREADS", hw == 0 ? 1 : hw);
+  // RE_THREADS accepts "auto" (= hardware concurrency, never more) or an
+  // explicit count, which is honored as-is — oversubscription is a choice
+  // the stress benches make on purpose, not a default anyone should get.
+  return env_thread_count("RE_THREADS", hw == 0 ? 1 : hw);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

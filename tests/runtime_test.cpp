@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -170,6 +171,33 @@ TEST(EnvParseTest, PositiveDoubleAcceptsOnlyFinitePositives) {
   EXPECT_EQ(parse_positive_double(""), std::nullopt);
 }
 
+TEST(EnvParseTest, ThreadCountAcceptsAutoAndExplicitCounts) {
+  // "auto" resolves to the reported hardware width, clamped to >= 1 when
+  // the runtime reports 0 (unknown).
+  EXPECT_EQ(parse_thread_count("auto", 8), 8u);
+  EXPECT_EQ(parse_thread_count(" auto ", 4), 4u);
+  EXPECT_EQ(parse_thread_count("auto", 0), 1u);
+  // Explicit numeric counts pass through unclamped — the stress benches
+  // oversubscribe on purpose.
+  EXPECT_EQ(parse_thread_count("16", 2), 16u);
+  EXPECT_EQ(parse_thread_count("1", 8), 1u);
+  EXPECT_EQ(parse_thread_count("AUTO", 8), std::nullopt);
+  EXPECT_EQ(parse_thread_count("0", 8), std::nullopt);
+  EXPECT_EQ(parse_thread_count("auto8", 8), std::nullopt);
+  EXPECT_EQ(parse_thread_count("", 8), std::nullopt);
+}
+
+TEST(EnvParseTest, EnvThreadCountReadsAutoFromEnvironment) {
+  ::unsetenv("RE_TEST_KNOB");
+  EXPECT_EQ(env_thread_count("RE_TEST_KNOB", 5), 5u);
+  ::setenv("RE_TEST_KNOB", "3", 1);
+  EXPECT_EQ(env_thread_count("RE_TEST_KNOB", 5), 3u);
+  ::setenv("RE_TEST_KNOB", "auto", 1);
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(env_thread_count("RE_TEST_KNOB", 5), hw == 0 ? 1u : hw);
+  ::unsetenv("RE_TEST_KNOB");
+}
+
 TEST(EnvParseTest, EnvHelpersFallBackWhenUnset) {
   ::unsetenv("RE_TEST_KNOB");
   EXPECT_EQ(env_positive_size("RE_TEST_KNOB", 7), 7u);
@@ -186,6 +214,8 @@ TEST(EnvParseDeathTest, MalformedEnvValueAbortsLoudly) {
   EXPECT_EXIT(env_positive_size("RE_TEST_KNOB", 7), ::testing::ExitedWithCode(2),
               "RE_TEST_KNOB");
   EXPECT_EXIT(env_positive_double("RE_TEST_KNOB", 0.5),
+              ::testing::ExitedWithCode(2), "RE_TEST_KNOB");
+  EXPECT_EXIT(env_thread_count("RE_TEST_KNOB", 1),
               ::testing::ExitedWithCode(2), "RE_TEST_KNOB");
   ::unsetenv("RE_TEST_KNOB");
 }
