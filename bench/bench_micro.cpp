@@ -7,6 +7,7 @@
 #include "bgp/network.h"
 #include "bgp/rpki.h"
 #include "core/classifier.h"
+#include "dataplane/fib.h"
 #include "dataplane/return_path.h"
 #include "io/results_io.h"
 #include "netbase/prefix_trie.h"
@@ -149,6 +150,62 @@ void BM_ReturnPathResolution(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ReturnPathResolution);
+
+// The compiled-FIB counterpart of BM_ReturnPathResolution: same world,
+// same two-origin announcement, queries answered from the compiled
+// catchment table. Warm = the steady-state probing path (table already
+// compiled, O(1) per query); cold = invalidate + recompile every
+// iteration, pricing the per-round compile the warm path amortizes.
+void BM_CatchmentFibWarm(benchmark::State& state) {
+  topo::EcosystemParams params;
+  params = params.scaled(0.2);
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  const net::Prefix meas = eco.measurement().prefix;
+  bgp::BgpNetwork network(1);
+  eco.build_network(network);
+  network.announce(eco.measurement().commodity_origin, meas);
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco.internet2(), meas, re_only);
+  network.run_to_convergence();
+  dataplane::CatchmentFib fib(
+      network, meas, {eco.measurement().commodity_origin, eco.internet2()});
+  fib.refresh();
+  std::size_t i = 0;
+  const auto& members = eco.members();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fib.attribution(members[i++ % members.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CatchmentFibWarm);
+
+void BM_CatchmentFibCold(benchmark::State& state) {
+  topo::EcosystemParams params;
+  params = params.scaled(0.2);
+  const topo::Ecosystem eco = topo::Ecosystem::generate(params);
+  const net::Prefix meas = eco.measurement().prefix;
+  bgp::BgpNetwork network(1);
+  eco.build_network(network);
+  network.announce(eco.measurement().commodity_origin, meas);
+  bgp::OriginationOptions re_only;
+  re_only.re_only = true;
+  network.announce(eco.internet2(), meas, re_only);
+  network.run_to_convergence();
+  dataplane::CatchmentFib fib(
+      network, meas, {eco.measurement().commodity_origin, eco.internet2()});
+  std::size_t i = 0;
+  const auto& members = eco.members();
+  for (auto _ : state) {
+    fib.invalidate();
+    fib.refresh();  // full table compile
+    benchmark::DoNotOptimize(
+        fib.attribution(members[i++ % members.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CatchmentFibCold);
 
 void BM_ClassifyPrefix(benchmark::State& state) {
   core::PrefixObservation obs;

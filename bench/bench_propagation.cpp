@@ -20,6 +20,14 @@
 //     serial fingerprint.
 //   * loop_check_micro      — import-time loop-detection / path-replace
 //     micro-loop (the AsPath::contains fast-path satellite).
+//   * probe_resolve_legacy / probe_resolve_fib — the probing-phase
+//     return-path resolution of the §3.3 rounds: nine prepend rounds,
+//     every AS resolved RE_PROP_PROBE_REPS times per round (the
+//     three-addresses-per-prefix shape), once through the legacy
+//     AS-by-AS walker and once through the compiled catchment FIB
+//     (dataplane/fib.h). Classification digests must match bit for bit
+//     (exit 1 otherwise); the wall-clock ratio is the headline FIB
+//     speedup, and the [fib] counter lines are what the CI smoke greps.
 //   * sweep_full_rounds / sweep_incremental / sweep_incremental_drain —
 //     the §3.3-shaped nine-round prepend sweep over a forked converged
 //     baseline carrying background churn: the full pass re-converges the
@@ -45,6 +53,8 @@
 
 #include "bench/timing.h"
 #include "bgp/network.h"
+#include "dataplane/fib.h"
+#include "dataplane/return_path.h"
 #include "runtime/env.h"
 #include "runtime/perf_counters.h"
 #include "runtime/rng_streams.h"
@@ -445,6 +455,115 @@ int main() {
     }
     std::printf("[incr] determinism: 9 rounds + drain bit-identical full vs "
                 "scoped\n");
+  }
+
+  // ---- probing-phase return-path resolution ------------------------------
+  // The §3.3 probing shape: nine prepend rounds over a two-origin
+  // measurement prefix; after each round every AS's return path is
+  // resolved RE_PROP_PROBE_REPS times (one per probed address). The
+  // legacy pass walks the RIBs AS-by-AS per query; the FIB pass compiles
+  // one catchment table per round and answers each query in O(1).
+  {
+    const std::size_t probe_reps = env_size("RE_PROP_PROBE_REPS", 3);
+    const topo::PrefixRecord* meas = nullptr;
+    const topo::PrefixRecord* second = nullptr;
+    for (const topo::PrefixRecord& rec : eco.prefixes()) {
+      if (rec.covered) continue;
+      if (meas == nullptr) {
+        meas = &rec;
+      } else if (second == nullptr && rec.origin != meas->origin) {
+        second = &rec;
+        break;
+      }
+    }
+    if (meas == nullptr || second == nullptr) {
+      std::printf("FAIL: no usable prefixes for the probe-resolve bench\n");
+      return 1;
+    }
+
+    bgp::BgpNetwork network(master);
+    eco.build_network(network);
+    network.announce(meas->origin, meas->prefix);
+    network.announce(second->origin, meas->prefix);
+    network.run_to_convergence();
+    const net::SimTime t0 = network.clock().now();
+
+    const std::vector<net::Asn> sources = eco.directory().all();
+    const std::vector<net::Asn> terminals{meas->origin, second->origin};
+    dataplane::ReturnPathResolver legacy_resolver(network, meas->prefix,
+                                                  terminals);
+    dataplane::CatchmentFib fib(network, meas->prefix, terminals);
+
+    auto fold = [](std::uint64_t h, bool reachable, net::Asn terminal,
+                   bool via_default) {
+      h = fnv1a(h, reachable ? 1 : 0);
+      h = fnv1a(h, reachable ? terminal.value() : 0);
+      return fnv1a(h, via_default ? 1 : 0);
+    };
+
+    double legacy_wall = 0.0, fib_wall = 0.0;
+    std::uint64_t legacy_digest = 1469598103934665603ull;
+    std::uint64_t fib_digest = legacy_digest;
+    dataplane::ReturnPath scratch;
+    for (std::size_t round = 1; round <= 9; ++round) {
+      network.clock().advance_to(
+          t0 + static_cast<net::SimTime>(round) * net::kHour);
+      network.set_origin_prepend(meas->origin, meas->prefix,
+                                 static_cast<std::uint32_t>(round % 3));
+      network.run_to_convergence();
+
+      const auto legacy_start = std::chrono::steady_clock::now();
+      for (std::size_t rep = 0; rep < probe_reps; ++rep) {
+        for (const net::Asn source : sources) {
+          legacy_resolver.resolve(source, scratch);
+          legacy_digest = fold(legacy_digest, scratch.reachable,
+                               scratch.terminal, scratch.used_default_route);
+        }
+      }
+      legacy_wall += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - legacy_start)
+                         .count();
+
+      const auto fib_start = std::chrono::steady_clock::now();
+      fib.refresh();
+      for (std::size_t rep = 0; rep < probe_reps; ++rep) {
+        for (const net::Asn source : sources) {
+          const dataplane::CatchmentFib::Attribution attr =
+              fib.attribution(source);
+          fib_digest = fold(fib_digest, attr.reachable, attr.terminal,
+                            attr.used_default_route);
+        }
+      }
+      fib_wall += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - fib_start)
+                      .count();
+    }
+
+    timer.record(suffixed("probe_resolve_legacy"), legacy_wall, 1);
+    timer.record(suffixed("probe_resolve_fib"), fib_wall, 1);
+    std::printf(
+        "[fib] probe resolve: %zu ASes x %zu reps x 9 rounds: legacy=%.3fs "
+        "fib=%.3fs (speedup %.2fx)\n",
+        sources.size(), probe_reps, legacy_wall, fib_wall,
+        fib_wall > 0 ? legacy_wall / fib_wall : 0.0);
+    // Machine-parseable lines for the CI smoke: the counters prove the
+    // memoization actually engaged (hits from a compiled table, epoch
+    // invalidations across rounds), and the digests gate classification
+    // divergence between the walker and the compiled table.
+    std::printf("[fib] fib_hits=%llu fib_invalidations=%llu "
+                "fib_compiles=%llu\n",
+                static_cast<unsigned long long>(fib.hits()),
+                static_cast<unsigned long long>(fib.invalidations()),
+                static_cast<unsigned long long>(fib.compiles()));
+    std::printf("[fib] digest legacy=%016llx fib=%016llx\n",
+                static_cast<unsigned long long>(legacy_digest),
+                static_cast<unsigned long long>(fib_digest));
+    if (legacy_digest != fib_digest) {
+      std::printf("FAIL: compiled FIB diverged from the legacy walker\n");
+      return 1;
+    }
+    std::printf("[fib] determinism: 9 rounds bit-identical walker vs "
+                "compiled table\n");
   }
 
   // ---- loop-check micro --------------------------------------------------

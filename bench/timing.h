@@ -25,9 +25,18 @@ struct TimingRow {
   std::string scenario;
   double wall_seconds = 0.0;
   std::size_t threads = 1;
-  // Process peak RSS (KiB) observed when the row was recorded, so memory
-  // wins show up in the trajectory alongside wall-clock. 0 = unknown.
+  // Process peak RSS (KiB) observed when the row was recorded. VmHWM is
+  // monotonic over the process lifetime, so in a binary that runs several
+  // scenarios back-to-back this is an upper bound *inherited* from every
+  // scenario recorded before it — not this scenario's own footprint.
+  // 0 = unknown.
   std::size_t peak_rss_kb = 0;
+  // How much this scenario raised the process high-water mark (KiB):
+  // peak at record time minus peak at the previous record (or timer
+  // construction). 0 means the peak was inherited — this scenario fit
+  // inside memory an earlier one had already touched. This is the column
+  // to read for per-scenario memory attribution.
+  std::size_t peak_rss_delta_kb = 0;
 };
 
 inline std::string bench_results_path() {
@@ -47,8 +56,12 @@ class BenchTimer {
 
   void record(const std::string& scenario, double wall_seconds,
               std::size_t threads = 1) {
-    rows_.push_back(TimingRow{bench_, scenario, wall_seconds, threads,
-                              runtime::peak_rss_bytes() / 1024});
+    const std::size_t peak_kb = runtime::peak_rss_bytes() / 1024;
+    const std::size_t delta_kb =
+        peak_kb > last_peak_kb_ ? peak_kb - last_peak_kb_ : 0;
+    last_peak_kb_ = peak_kb;
+    rows_.push_back(
+        TimingRow{bench_, scenario, wall_seconds, threads, peak_kb, delta_kb});
   }
 
   // Times fn() and records the scenario; returns fn's result.
@@ -96,7 +109,7 @@ class BenchTimer {
     io::JsonWriter writer;
     writer.begin_object();
     writer.key("schema_version");
-    writer.value(std::uint64_t{2});
+    writer.value(std::uint64_t{3});
     writer.key("scenarios");
     writer.begin_array();
     for (const TimingRow& row : merged) {
@@ -106,6 +119,7 @@ class BenchTimer {
       writer.field("wall_seconds", row.wall_seconds);
       writer.field("threads", std::uint64_t{row.threads});
       writer.field("peak_rss_kb", std::uint64_t{row.peak_rss_kb});
+      writer.field("peak_rss_delta_kb", std::uint64_t{row.peak_rss_delta_kb});
       writer.end_object();
     }
     writer.end_array();
@@ -161,6 +175,10 @@ class BenchTimer {
       if (const auto* v = entry.find("peak_rss_kb"); v && v->is_number()) {
         row.peak_rss_kb = static_cast<std::size_t>(v->as_number());
       }
+      if (const auto* v = entry.find("peak_rss_delta_kb");
+          v && v->is_number()) {
+        row.peak_rss_delta_kb = static_cast<std::size_t>(v->as_number());
+      }
       if (!row.bench.empty() && !row.scenario.empty()) {
         rows.push_back(std::move(row));
       }
@@ -170,6 +188,10 @@ class BenchTimer {
 
   std::string bench_;
   std::vector<TimingRow> rows_;
+  // High-water mark at the previous record (or construction): the
+  // baseline that turns the monotonic VmHWM reading into a per-scenario
+  // delta.
+  std::size_t last_peak_kb_ = runtime::peak_rss_bytes() / 1024;
 };
 
 }  // namespace re::bench

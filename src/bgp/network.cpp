@@ -246,7 +246,7 @@ void BgpNetwork::announce(net::Asn origin, const net::Prefix& prefix,
                           OriginationOptions options) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   s->originate(prefix, clock_.now(), options);
   flush_exports(*s, prefix, clock_.now());
 }
@@ -254,7 +254,7 @@ void BgpNetwork::announce(net::Asn origin, const net::Prefix& prefix,
 void BgpNetwork::withdraw(net::Asn origin, const net::Prefix& prefix) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   s->withdraw_origination(prefix, clock_.now());
   flush_exports(*s, prefix, clock_.now());
 }
@@ -263,14 +263,14 @@ void BgpNetwork::set_origin_prepend(net::Asn origin, const net::Prefix& prefix,
                                     std::uint32_t extra_prepends) {
   Speaker* s = speaker(origin);
   if (s == nullptr) return;
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   s->export_policy().default_prepend = extra_prepends;
   // Best route is unchanged at the origin; only the exported form differs.
   flush_exports(*s, prefix, clock_.now());
 }
 
 void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix) {
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   // Sever the session first, in both directions, so that nothing queued
   // below (or already in flight) can cross it: the repropagation a
   // failure triggers must never resurrect the failed link itself.
@@ -299,7 +299,7 @@ void BgpNetwork::fail_session(net::Asn a, net::Asn b, const net::Prefix& prefix)
 
 void BgpNetwork::restore_session(net::Asn a, net::Asn b,
                                  const net::Prefix& prefix) {
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   // Bring both directions up before flushing either side, so each end's
   // re-advertisement sees the session as usable.
   for (const auto& [local, remote] : {std::pair{a, b}, std::pair{b, a}}) {
@@ -477,6 +477,10 @@ ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
         --total_pending_;
       }
       touched_channels_.push_back(head.channel);
+      // Deliveries this tick may change the prefix's forwarding state:
+      // one epoch bump per (tick, channel) keeps compiled-FIB caches
+      // honest without touching the per-message hot path.
+      ++channel.epoch;
     }
     // Global (deliver_at, seq) order: within a tick, messages interleave
     // across channels exactly as the single-queue engine popped them.
@@ -793,7 +797,7 @@ void BgpNetwork::stage_collector(const Speaker& peer, const net::Prefix& prefix,
 }
 
 ConvergenceStats BgpNetwork::settle(const net::Prefix& prefix) {
-  dirty_.insert(prefix);
+  mark_dirty(prefix);
   for (const auto& s : speakers_) {
     if (s->reevaluate(prefix, clock_.now())) {
       flush_exports(*s, prefix, clock_.now());
@@ -825,6 +829,7 @@ void BgpNetwork::clear_prefix(const net::Prefix& prefix) {
     Channel& channel = channels_[it->second];
     total_pending_ -= channel.queue.size();
     channel.queue = {};
+    ++channel.epoch;  // the prefix's state was just dropped
   }
   dirty_.erase(prefix);
 }

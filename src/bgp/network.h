@@ -120,6 +120,41 @@ class BgpNetwork {
   std::vector<net::Asn> asns() const;
   std::size_t speaker_count() const noexcept { return speakers_.size(); }
 
+  // --- Dense AS indexing ---------------------------------------------------
+
+  // Every speaker has a dense index in add_speaker order, stable for the
+  // network's lifetime. Subsystems that build per-AS arrays (the compiled
+  // catchment FIB, shard planners) key them by this index instead of
+  // hashing ASNs per query.
+  static constexpr std::size_t kNoSpeakerIndex = static_cast<std::size_t>(-1);
+  // Stat-free lookup (find_concurrent): dense-index queries come from the
+  // probing plane, often from several pool workers at once, and must not
+  // touch the map's mutable probe counters.
+  std::size_t speaker_index(net::Asn asn) const {
+    const std::size_t* idx = index_.find_concurrent(asn);
+    return idx == nullptr ? kNoSpeakerIndex : *idx;
+  }
+  const Speaker& speaker_at(std::size_t index) const {
+    return *speakers_[index];
+  }
+
+  // --- Mutation epochs -------------------------------------------------------
+
+  // Monotonic per-prefix mutation counter: bumped by every mutator that
+  // seeds the dirty set (announce/withdraw/set_origin_prepend/
+  // fail_session/restore_session/settle/clear_prefix) and once per
+  // delivery tick that touched the prefix's channel. Restoring a snapshot
+  // folds a restore generation into the value, so a rewind never collides
+  // with a pre-restore epoch. Equal epochs guarantee unchanged per-prefix
+  // forwarding state; an epoch change merely permits it (callers use this
+  // for cache invalidation, never for semantics).
+  std::uint64_t prefix_epoch(const net::Prefix& prefix) const {
+    const auto it = channel_index_.find(prefix);
+    const std::uint64_t counter =
+        it == channel_index_.end() ? 0 : channels_[it->second].epoch;
+    return (restore_generation_ << 48) | counter;
+  }
+
   // Pre-sizes the network-level hot maps from known topology
   // cardinalities (speaker and directed-session-pair counts), so the
   // first convergence wave does not pay rehash churn. Builders call this
@@ -257,6 +292,9 @@ class BgpNetwork {
     net::Prefix prefix;
     std::priority_queue<PendingMessage, std::vector<PendingMessage>, LaterFirst>
         queue;
+    // Mutation counter for prefix_epoch() (not part of snapshot state —
+    // a restored network invalidates via restore_generation_ instead).
+    std::uint64_t epoch = 0;
   };
 
   // An entry in the active-head heap: the head (deliver_at, seq) of one
@@ -386,6 +424,13 @@ class BgpNetwork {
   // The channel slot for `prefix`, created on first use.
   std::uint32_t channel_for(const net::Prefix& prefix);
 
+  // Seeds the dirty set and bumps the prefix's mutation epoch — the one
+  // funnel every explicit per-prefix mutation goes through.
+  void mark_dirty(const net::Prefix& prefix) {
+    dirty_.insert(prefix);
+    ++channels_[channel_for(prefix)].epoch;
+  }
+
   // The engine shared by every run flavor: drains the scoped channels
   // (all of them when `full`) in global (deliver_at, seq) order up to
   // `deadline`. Scope ids must be distinct.
@@ -451,6 +496,11 @@ class BgpNetwork {
   // Checkpoint/fork provenance, surfaced through ConvergenceStats::perf.
   std::uint64_t checkpoints_ = 0;  // snapshots taken from this network
   bool forked_ = false;            // this network was restored from one
+
+  // Bumped by restore(): channel epochs are rebuilt from scratch there,
+  // so the generation keeps prefix_epoch() values from ever repeating
+  // across a rewind (see prefix_epoch above).
+  std::uint64_t restore_generation_ = 0;
 };
 
 // The captured state. Holds plain copies of everything mutable except AS

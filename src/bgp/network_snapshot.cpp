@@ -72,6 +72,10 @@ void BgpNetwork::restore(const Snapshot& snap) {
   total_pending_ = 0;
   active_ = {};
   run_active_ = false;
+  // Channel epochs restart at zero below; the generation bump keeps every
+  // post-restore prefix_epoch() distinct from every pre-restore one, so a
+  // compiled FIB never mistakes the rewound state for its cached one.
+  ++restore_generation_;
   // No explicit dirty carry-over: everything queued is implicitly dirty
   // (run_dirty_to_convergence scans non-empty channels), and a fork's
   // first mutation re-seeds the explicit set.

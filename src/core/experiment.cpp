@@ -1,11 +1,14 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "dataplane/fib.h"
 #include "dataplane/return_path.h"
+#include "runtime/env.h"
 #include "netbase/binio.h"
 #include "netbase/rng.h"
 
@@ -223,6 +226,14 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
     }
   }
 
+  // The probing plane: compiled catchment FIB by default (refreshed once
+  // per round, O(1) per probe target), legacy AS-by-AS walker as the
+  // escape hatch / differential oracle. Identical classifications either
+  // way — fib_test.cpp proves it per-AS, CI gates the result digest.
+  const bool use_fib =
+      config_.compiled_fib && runtime::env_flag("RE_DATAPLANE_FIB", true);
+  dataplane::CatchmentFib fib(network, meas,
+                              {result.commodity_origin, result.re_origin});
   dataplane::ReturnPathResolver resolver(
       network, meas, {result.commodity_origin, result.re_origin});
 
@@ -274,6 +285,11 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
     state.injector.apply(network, meas, static_cast<int>(round));
 
     window.probe_start = network.clock().now();
+    // Outage injection (and the round's prepend change) may have moved
+    // the prefix's epoch: recompile here, once, before the prober fans
+    // queries out — possibly across the pool, against a table that is
+    // strictly read-only for the rest of the round.
+    if (use_fib) fib.refresh();
     const int flaky_check = static_cast<int>(round);
     const probing::TargetResolver target_resolver =
         [&](const probing::PrefixSeeds& seeds,
@@ -285,18 +301,36 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
       const net::Asn from = target.routes_via.value_or(seeds.origin);
       // §3.4: a per-prefix egress stance applies to the origin's own
       // systems; interconnect addresses follow their owner's routing.
-      const dataplane::ReturnPath path =
-          (seeds.stance_override.has_value() && !target.routes_via.has_value())
-              ? resolver.resolve_with_stance(from, *seeds.stance_override)
-              : resolver.resolve(from);
-      if (!path.reachable) return std::nullopt;
+      const bool stance =
+          seeds.stance_override.has_value() && !target.routes_via.has_value();
+      bool reachable = false;
+      net::Asn terminal;
+      if (use_fib) {
+        const dataplane::CatchmentFib::Attribution attr =
+            stance ? fib.attribution_with_stance(from, *seeds.stance_override)
+                   : fib.attribution(from);
+        reachable = attr.reachable;
+        terminal = attr.terminal;
+      } else {
+        const dataplane::ReturnPath path =
+            stance ? resolver.resolve_with_stance(from, *seeds.stance_override)
+                   : resolver.resolve(from);
+        reachable = path.reachable;
+        terminal = path.terminal;
+      }
+      if (!reachable) return std::nullopt;
       const probing::VlanInterface* iface =
-          host.interface_for_terminal(path.terminal);
+          host.interface_for_terminal(terminal);
       return iface == nullptr ? std::nullopt
                               : std::optional<int>(iface->vlan_id);
     };
+    const auto probe_wall_start = std::chrono::steady_clock::now();
     probing::RoundResult round_result =
         state.prober.run_round(seeds_, target_resolver, network.clock(), pool_);
+    result.propagation_perf.probe_resolve_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      probe_wall_start)
+            .count();
     window.probe_end = network.clock().now();
 
     for (std::size_t i = 0; i < round_result.prefixes.size(); ++i) {
@@ -314,6 +348,9 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
       if (config_.abort_after_round == static_cast<int>(round)) {
         // CI kill simulation: the checkpoint is on disk; a resume run
         // completes the sweep digest-identically.
+        result.propagation_perf.fib_compiles += fib.compiles();
+        result.propagation_perf.fib_hits += fib.hits();
+        result.propagation_perf.fib_invalidations += fib.invalidations();
         return result;
       }
     }
@@ -321,6 +358,9 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
 
   result.experiment_end = network.clock().now();
   result.update_log = network.update_log();
+  result.propagation_perf.fib_compiles += fib.compiles();
+  result.propagation_perf.fib_hits += fib.hits();
+  result.propagation_perf.fib_invalidations += fib.invalidations();
   return result;
 }
 

@@ -1,6 +1,6 @@
 #include "core/relative_preference.h"
 
-#include "dataplane/return_path.h"
+#include "dataplane/fib.h"
 
 namespace re::core {
 
@@ -65,8 +65,11 @@ std::vector<RelativePreferenceResult> RelativePreferenceExperiment::run(
   network_.announce(first_.origin, prefix, options);
   network_.run_to_convergence();
 
-  dataplane::ReturnPathResolver resolver(network_, prefix,
-                                         {first_.origin, second_.origin});
+  // One compiled catchment per converged round answers every tested AS
+  // in O(1) — the per-round cost is one O(N) compile instead of
+  // |tested| full walks (see dataplane/fib.h).
+  dataplane::CatchmentFib fib(network_, prefix,
+                              {first_.origin, second_.origin});
 
   std::vector<RelativePreferenceResult> results(tested.size());
   for (std::size_t i = 0; i < tested.size(); ++i) {
@@ -82,11 +85,13 @@ std::vector<RelativePreferenceResult> RelativePreferenceExperiment::run(
       network_.run_to_convergence();
     }
     network_.clock().advance(net::kHour);
+    fib.refresh();
     for (std::size_t i = 0; i < tested.size(); ++i) {
-      const dataplane::ReturnPath path = resolver.resolve(tested[i]);
+      const dataplane::CatchmentFib::Attribution attr =
+          fib.attribution(tested[i]);
       int cls = -1;
-      if (path.reachable) {
-        cls = path.terminal == first_.origin ? 0 : 1;
+      if (attr.reachable) {
+        cls = attr.terminal == first_.origin ? 0 : 1;
       }
       results[i].per_round_class.push_back(cls);
     }

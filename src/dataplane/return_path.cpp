@@ -1,10 +1,12 @@
 #include "dataplane/return_path.h"
 
+#include <array>
+
 namespace re::dataplane {
 
 ReturnPath ReturnPathResolver::resolve_with_stance(net::Asn source,
                                                    bgp::ReStance stance) const {
-  if (terminals_.count(source) != 0) return resolve(source);
+  if (is_terminal(source)) return resolve(source);
   const bgp::Speaker* speaker = network_.speaker(source);
   if (speaker == nullptr) return ReturnPath{};
 
@@ -38,21 +40,43 @@ ReturnPath ReturnPathResolver::resolve_with_stance(net::Asn source,
 
 ReturnPath ReturnPathResolver::resolve(net::Asn source) const {
   ReturnPath result;
+  resolve(source, result);
+  return result;
+}
+
+void ReturnPathResolver::resolve(net::Asn source, ReturnPath& out) const {
+  out.reachable = false;
+  out.terminal = net::Asn{};
+  out.used_default_route = false;
+  out.hops.clear();
   constexpr int kMaxHops = 64;
 
   net::Asn current = source;
-  std::unordered_set<net::Asn> visited;
-  for (int hop = 0; hop < kMaxHops; ++hop) {
-    result.hops.push_back(current);
-    if (terminals_.count(current) != 0) {
-      result.reachable = true;
-      result.terminal = current;
-      return result;
+  // Visited set as a bounded stack array: the walk never exceeds kMaxHops
+  // entries, and a linear scan over a path-length-sized array is cheaper
+  // than hashing — and heap-free, which keeps concurrent calls (the
+  // prober pool under RE_DATAPLANE_FIB=off) share-nothing.
+  std::array<net::Asn, kMaxHops> visited;
+  int visited_count = 0;
+  const auto visit = [&](net::Asn asn) {
+    for (int i = 0; i < visited_count; ++i) {
+      if (visited[i] == asn) return false;  // already seen
     }
-    if (!visited.insert(current).second) return result;  // forwarding loop
+    visited[visited_count++] = asn;
+    return true;
+  };
+
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    out.hops.push_back(current);
+    if (is_terminal(current)) {
+      out.reachable = true;
+      out.terminal = current;
+      return;
+    }
+    if (!visit(current)) return;  // forwarding loop
 
     const bgp::Speaker* speaker = network_.speaker(current);
-    if (speaker == nullptr) return result;
+    if (speaker == nullptr) return;
 
     net::Asn next;
     if (const bgp::Route* best = speaker->best(prefix_); best != nullptr) {
@@ -60,19 +84,19 @@ ReturnPath ReturnPathResolver::resolve(net::Asn source) const {
         // This AS originates the prefix but is not a terminal: the
         // announcement endpoints must cover all originators, so treat as
         // unreachable rather than mis-attributing a VLAN.
-        return result;
+        return;
       }
       next = best->learned_from;
     } else if (const bgp::Session* fallback = speaker->default_route_session();
                fallback != nullptr) {
-      result.used_default_route = true;
+      out.used_default_route = true;
       next = fallback->neighbor;
     } else {
-      return result;  // no route, no default: response never leaves
+      return;  // no route, no default: response never leaves
     }
     current = next;
   }
-  return result;  // hop limit exceeded
+  // Hop limit exceeded.
 }
 
 }  // namespace re::dataplane

@@ -6,12 +6,20 @@
 // session when it has no route at all (the hidden-upstream behaviour of
 // §4.2). The walk ends at an announcement terminal, which maps to a host
 // VLAN, or fails on a loop / route-less AS.
+//
+// This walker re-resolves every query from scratch (O(path length) RIB
+// lookups per call). The probing plane runs through the compiled
+// CatchmentFib instead (see fib.h); the walker is retained as the
+// differential-testing oracle and the RE_DATAPLANE_FIB=off escape hatch,
+// so its per-call cost still matters: the hot loop is allocation-free
+// apart from the returned hops vector, and the reuse overload recycles
+// even that.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
 #include "bgp/network.h"
@@ -30,15 +38,28 @@ struct ReturnPath {
 class ReturnPathResolver {
  public:
   // `terminals` are the ASes that deliver traffic for `prefix` to the
-  // measurement host (the announcement endpoints).
+  // measurement host (the announcement endpoints). The span is copied
+  // into a small owned vector (two entries in every experiment), so the
+  // caller's storage need not outlive the resolver.
   ReturnPathResolver(const bgp::BgpNetwork& network, net::Prefix prefix,
-                     std::vector<net::Asn> terminals)
+                     std::span<const net::Asn> terminals)
       : network_(network),
         prefix_(prefix),
         terminals_(terminals.begin(), terminals.end()) {}
 
+  ReturnPathResolver(const bgp::BgpNetwork& network, net::Prefix prefix,
+                     std::initializer_list<net::Asn> terminals)
+      : ReturnPathResolver(network, prefix,
+                           std::span<const net::Asn>(terminals)) {}
+
   // Walks from `source` toward the measurement prefix.
   ReturnPath resolve(net::Asn source) const;
+
+  // Reuse flavor: clears and refills `out` (recycling its hops capacity)
+  // instead of allocating a fresh result per call. Thread-safe — all
+  // other scratch lives on the stack, so concurrent calls with distinct
+  // `out` objects never share mutable state.
+  void resolve(net::Asn source, ReturnPath& out) const;
 
   // §3.4 per-prefix policy granularity: resolves as if `source` applied
   // `stance` (instead of its session defaults) when choosing the egress
@@ -46,12 +67,21 @@ class ReturnPathResolver {
   // localpref assignment, then forwarding proceeds normally.
   ReturnPath resolve_with_stance(net::Asn source, bgp::ReStance stance) const;
 
-  bool is_terminal(net::Asn asn) const { return terminals_.count(asn) != 0; }
+  bool is_terminal(net::Asn asn) const {
+    for (const net::Asn terminal : terminals_) {
+      if (terminal == asn) return true;
+    }
+    return false;
+  }
+
+  std::span<const net::Asn> terminals() const noexcept { return terminals_; }
 
  private:
   const bgp::BgpNetwork& network_;
   net::Prefix prefix_;
-  std::unordered_set<net::Asn> terminals_;
+  // Linear scan beats a hash set at experiment cardinality (two
+  // terminals) and keeps the resolver trivially copyable around.
+  std::vector<net::Asn> terminals_;
 };
 
 }  // namespace re::dataplane

@@ -24,6 +24,11 @@ TraceResult Tracer::trace(net::Asn source, int max_ttl) const {
   result.source = source;
   result.destination = destination_;
 
+  // One compiled next-hop table per converged state: each TTL step below
+  // is an O(1) array read instead of a best-route + default-session RIB
+  // lookup. refresh() is a no-op while the prefix's epoch is quiet.
+  fib_.refresh();
+
   net::Asn current = source;
   for (int ttl = 1; ttl <= max_ttl; ++ttl) {
     if (is_origin(current)) {
@@ -32,19 +37,11 @@ TraceResult Tracer::trace(net::Asn source, int max_ttl) const {
       result.reached = true;
       return result;
     }
-    const bgp::Speaker* speaker = network_.speaker(current);
-    if (speaker == nullptr) return result;
-
-    net::Asn next;
-    if (const bgp::Route* best = speaker->best(destination_);
-        best != nullptr && best->learned_from.valid()) {
-      next = best->learned_from;
-    } else if (const bgp::Session* fallback = speaker->default_route_session();
-               fallback != nullptr) {
-      next = fallback->neighbor;
-    } else {
-      return result;  // no route: probes beyond this hop vanish
+    const std::optional<net::Asn> hop = fib_.next_hop(current);
+    if (!hop.has_value()) {
+      return result;  // unknown AS, or no route: probes vanish here
     }
+    const net::Asn next = *hop;
     // The probe with TTL == ttl expires at `next` (the first hop is the
     // source's own next AS; the source itself does not answer its probes).
     result.hops.push_back(TraceHop{ttl, next, false});

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bgp/network.h"
+#include "dataplane/fib.h"
 #include "netbase/asn.h"
 #include "netbase/prefix.h"
 #include "probing/packet.h"
@@ -47,7 +48,9 @@ class Tracer {
          std::vector<net::Asn> origins)
       : network_(network),
         destination_(std::move(destination)),
-        origins_(std::move(origins)) {}
+        origins_(std::move(origins)),
+        fib_(network_, destination_, origins_,
+             dataplane::CatchmentFib::NextHopRule::kTraceroute) {}
 
   // AS-level trace from `source`. `max_ttl` bounds the walk.
   TraceResult trace(net::Asn source, int max_ttl = 32) const;
@@ -64,6 +67,11 @@ class Tracer {
   const bgp::BgpNetwork& network_;
   net::Prefix destination_;
   std::vector<net::Asn> origins_;
+  // Compiled next-hop table (traceroute rule: an originator without a
+  // learned_from falls through to its default route, matching the TTL
+  // walk below). trace() refreshes it lazily against the prefix epoch,
+  // hence mutable; a Tracer is single-threaded by contract.
+  mutable dataplane::CatchmentFib fib_;
 };
 
 }  // namespace re::probing

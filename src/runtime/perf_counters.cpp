@@ -44,6 +44,10 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) noexcept {
   // fan-out" a sweep paid for, which is what benches compare.
   speakers_touched += other.speakers_touched;
   messages_skipped_by_scope += other.messages_skipped_by_scope;
+  fib_compiles += other.fib_compiles;
+  fib_hits += other.fib_hits;
+  fib_invalidations += other.fib_invalidations;
+  probe_resolve_seconds += other.probe_resolve_seconds;
   checkpoints += other.checkpoints;
   forks += other.forks;
   if (other.arena_shared_bytes > arena_shared_bytes) {
@@ -79,6 +83,16 @@ std::string PerfCounters::summary() const {
                   static_cast<unsigned long long>(prefixes_dirty),
                   static_cast<unsigned long long>(speakers_touched),
                   static_cast<unsigned long long>(messages_skipped_by_scope));
+    out += buffer;
+  }
+  if (fib_compiles > 0 || fib_hits > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  ", fib: %llu compiles, %llu hits, %llu invalidations,"
+                  " probe resolve %.2fs",
+                  static_cast<unsigned long long>(fib_compiles),
+                  static_cast<unsigned long long>(fib_hits),
+                  static_cast<unsigned long long>(fib_invalidations),
+                  probe_resolve_seconds);
     out += buffer;
   }
   if (forks > 0 || checkpoints > 0) {

@@ -1,6 +1,9 @@
 // Tests for return-path resolution and outage injection.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "dataplane/outage.h"
 #include "dataplane/return_path.h"
 
@@ -113,6 +116,41 @@ TEST(ReturnPath, IsTerminalQuery) {
   ReturnPathResolver resolver(network, kPrefix, {Asn{100}, Asn{200}});
   EXPECT_TRUE(resolver.is_terminal(Asn{100}));
   EXPECT_FALSE(resolver.is_terminal(Asn{42}));
+}
+
+TEST(ReturnPath, SpanConstructorMatchesInitializerList) {
+  TwoPathFixture f;
+  f.announce_both();
+  const std::vector<Asn> terminal_vec{Asn{100}, Asn{200}};
+  ReturnPathResolver from_span(f.network, kPrefix,
+                               std::span<const Asn>(terminal_vec));
+  ReturnPathResolver from_list(f.network, kPrefix, {Asn{100}, Asn{200}});
+  const ReturnPath a = from_span.resolve(Asn{42});
+  const ReturnPath b = from_list.resolve(Asn{42});
+  EXPECT_EQ(a.reachable, b.reachable);
+  EXPECT_EQ(a.terminal, b.terminal);
+  EXPECT_EQ(a.hops, b.hops);
+  ASSERT_EQ(from_span.terminals().size(), 2u);
+  EXPECT_EQ(from_span.terminals()[0], Asn{100});
+}
+
+TEST(ReturnPath, ReuseOverloadMatchesAndClearsPriorState) {
+  TwoPathFixture f;
+  f.network.speaker(Asn{42})->import_policy().re_stance =
+      bgp::ReStance::kPreferRe;
+  f.announce_both();
+  ReturnPathResolver resolver(f.network, kPrefix, {Asn{100}, Asn{200}});
+  ReturnPath out;
+  // Pre-poison the output: the reuse overload must fully reset it.
+  out.reachable = true;
+  out.used_default_route = true;
+  out.hops = {Asn{1}, Asn{2}, Asn{3}, Asn{4}};
+  resolver.resolve(Asn{42}, out);
+  const ReturnPath fresh = resolver.resolve(Asn{42});
+  EXPECT_EQ(out.reachable, fresh.reachable);
+  EXPECT_EQ(out.terminal, fresh.terminal);
+  EXPECT_EQ(out.used_default_route, fresh.used_default_route);
+  EXPECT_EQ(out.hops, fresh.hops);
 }
 
 // ---------------------------------------------------- per-prefix stance
