@@ -504,6 +504,9 @@ ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
         active_.push(ActiveHead{head.deliver_at, head.seq, id});
       }
     }
+    // Round boundary: deliveries merged, heads re-seeded — the network is
+    // consistent and observers (the re_check invariant suite) may read it.
+    if (round_observer_) round_observer_(tick, stats.perf.rounds);
   }
   run_active_ = false;
   active_ = {};

@@ -45,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -215,6 +216,19 @@ class BgpNetwork {
   // The prefixes a run_dirty_to_convergence() call would converge right
   // now, sorted (explicitly perturbed plus in-flight).
   std::vector<net::Prefix> dirty_prefixes() const;
+
+  // Round-boundary observer: invoked after every propagation round (one
+  // simulated-time tick) with the tick just drained and the 1-based round
+  // index within the current run. The network is internally consistent at
+  // the call — the round's deliveries are merged and channel heads
+  // re-seeded — so observers may read any const API. They must NOT mutate
+  // the network or start a nested run (the run loop is active). An empty
+  // function clears the hook. Observers survive restore(); forks start
+  // without one.
+  using RoundObserver = std::function<void(net::SimTime tick, std::uint64_t round)>;
+  void set_round_observer(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
 
   // Re-runs decisions network-wide for `prefix` (e.g. after damping decay)
   // and propagates any changes to convergence.
@@ -470,6 +484,7 @@ class BgpNetwork {
   std::vector<std::uint32_t> touched_channels_;
   net::FlatSet<net::Asn> touched_speakers_;  // per-run distinct destinations
   bool run_active_ = false;  // enqueue feeds active_ only during a run
+  RoundObserver round_observer_;  // round-boundary hook (see setter)
   net::FlatMap<EdgePrefixKey, EdgeFlowState, EdgePrefixKeyHash> edge_flow_;
   net::FlatMap<EdgePrefixKey, SentState, EdgePrefixKeyHash> sent_;
 

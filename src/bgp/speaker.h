@@ -72,6 +72,7 @@ class Speaker {
   ExportPolicy& export_policy() noexcept { return export_; }
   const ExportPolicy& export_policy() const noexcept { return export_; }
   DampingConfig& damping() noexcept { return damping_; }
+  const DampingConfig& damping() const noexcept { return damping_; }
 
   // R&E backbone behaviour: re-export peer-NREN routes to other peer NRENs.
   void set_re_transit_between_peers(bool value) noexcept {

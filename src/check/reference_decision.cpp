@@ -1,0 +1,209 @@
+#include "check/reference_decision.h"
+
+namespace re::check {
+namespace {
+
+using bgp::DecisionConfig;
+using bgp::DecisionStep;
+using bgp::Route;
+
+// Steps in RFC 4271 order. Kept as a local table (not shared with
+// production) so a reordering bug there cannot silently reorder the
+// oracle too.
+constexpr DecisionStep kOrder[] = {
+    DecisionStep::kLocalPref, DecisionStep::kAsPathLength,
+    DecisionStep::kOrigin,    DecisionStep::kMed,
+    DecisionStep::kEbgp,      DecisionStep::kIgpCost,
+    DecisionStep::kRouteAge,  DecisionStep::kRouterId,
+};
+
+int compare_at(const Route& a, const Route& b, const DecisionConfig& config,
+               DecisionStep step) {
+  switch (step) {
+    case DecisionStep::kLocalPref:  // higher wins
+      if (a.local_pref != b.local_pref) {
+        return a.local_pref > b.local_pref ? -1 : 1;
+      }
+      return 0;
+    case DecisionStep::kAsPathLength:  // shorter wins, when enabled
+      if (!config.use_as_path_length || a.path_length == b.path_length) {
+        return 0;
+      }
+      return a.path_length < b.path_length ? -1 : 1;
+    case DecisionStep::kOrigin:  // IGP < EGP < incomplete
+      if (a.origin == b.origin) return 0;
+      return a.origin < b.origin ? -1 : 1;
+    case DecisionStep::kMed:  // lower wins, same neighbor AS only
+      if (!config.use_med || a.path_first != b.path_first ||
+          a.med == b.med) {
+        return 0;
+      }
+      return a.med < b.med ? -1 : 1;
+    case DecisionStep::kEbgp:  // eBGP beats iBGP
+      if (a.ebgp == b.ebgp) return 0;
+      return a.ebgp ? -1 : 1;
+    case DecisionStep::kIgpCost:  // lower wins
+      if (a.igp_cost == b.igp_cost) return 0;
+      return a.igp_cost < b.igp_cost ? -1 : 1;
+    case DecisionStep::kRouteAge:  // oldest wins, when enabled
+      if (!config.use_route_age || a.established_at == b.established_at) {
+        return 0;
+      }
+      return a.established_at < b.established_at ? -1 : 1;
+    case DecisionStep::kRouterId:  // lower wins
+      if (a.neighbor_router_id == b.neighbor_router_id) return 0;
+      return a.neighbor_router_id < b.neighbor_router_id ? -1 : 1;
+    case DecisionStep::kOnlyRoute:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t rank_of(DecisionStep step) {
+  for (std::size_t i = 0; i < std::size(kOrder); ++i) {
+    if (kOrder[i] == step) return i;
+  }
+  return std::size(kOrder);
+}
+
+}  // namespace
+
+int reference_compare(const Route& a, const Route& b,
+                      const DecisionConfig& config, DecisionStep* step) {
+  for (const DecisionStep s : kOrder) {
+    const int c = compare_at(a, b, config, s);
+    if (c != 0) {
+      if (step != nullptr) *step = s;
+      return c;
+    }
+  }
+  if (step != nullptr) *step = DecisionStep::kRouterId;
+  return 0;
+}
+
+bgp::DecisionResult reference_select(std::span<const Route> candidates,
+                                     const DecisionConfig& config) {
+  bgp::DecisionResult result;
+  if (candidates.size() <= 1) return result;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (reference_compare(candidates[i], candidates[result.best_index],
+                          config) < 0) {
+      result.best_index = i;
+    }
+  }
+  // Attribute the decision to the step separating the winner from its
+  // closest runner-up (the deepest step across all pairwise contests).
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i == result.best_index) continue;
+    DecisionStep step = DecisionStep::kRouterId;
+    reference_compare(candidates[result.best_index], candidates[i], config,
+                      &step);
+    if (rank_of(step) > rank_of(result.decided_by) ||
+        result.decided_by == DecisionStep::kOnlyRoute) {
+      result.decided_by = step;
+    }
+  }
+  return result;
+}
+
+std::vector<AdversarialPair> adversarial_pairs(bgp::PathTable& table) {
+  // Common baseline: every attribute a later step reads is equal between
+  // the two routes of a pair, so the contest cannot resolve before or
+  // after the step under test.
+  const bgp::PathId two_hops =
+      table.intern(bgp::AsPath{net::Asn{10}, net::Asn{20}});
+  const bgp::PathId three_hops =
+      table.intern(bgp::AsPath{net::Asn{10}, net::Asn{20}, net::Asn{30}});
+  const auto base = [&](bgp::PathId path) {
+    Route r;
+    r.set_path(table, path);
+    r.local_pref = 100;
+    r.origin = bgp::Origin::kIgp;
+    r.med = 7;
+    r.learned_from = net::Asn{10};
+    r.ebgp = true;
+    r.igp_cost = 10;
+    r.neighbor_router_id = 4;
+    r.established_at = 5;
+    return r;
+  };
+
+  std::vector<AdversarialPair> pairs;
+  const bgp::DecisionConfig standard;  // path length + MED on, age off
+  bgp::DecisionConfig with_age = standard;
+  with_age.use_route_age = true;
+
+  {
+    AdversarialPair p{"localpref-higher-wins", DecisionStep::kLocalPref,
+                      standard, base(two_hops), base(two_hops)};
+    p.preferred.local_pref = 200;
+    p.other.local_pref = 100;
+    // The loser is better on every later step — a wrong fall-through
+    // would flip the outcome, not just the attribution.
+    p.other.origin = bgp::Origin::kIgp;
+    p.preferred.origin = bgp::Origin::kIncomplete;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"shorter-path-wins", DecisionStep::kAsPathLength,
+                      standard, base(two_hops), base(three_hops)};
+    p.other.origin = bgp::Origin::kIgp;
+    p.preferred.origin = bgp::Origin::kIncomplete;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"origin-igp-beats-incomplete", DecisionStep::kOrigin,
+                      standard, base(two_hops), base(two_hops)};
+    p.preferred.origin = bgp::Origin::kIgp;
+    p.other.origin = bgp::Origin::kIncomplete;
+    p.preferred.med = 90;  // loser wins MED; must not matter
+    p.other.med = 7;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"med-lower-wins", DecisionStep::kMed, standard,
+                      base(two_hops), base(two_hops)};
+    p.preferred.med = 7;  // same path_first (AS 10): MED is comparable
+    p.other.med = 40;
+    p.preferred.igp_cost = 90;  // loser wins IGP cost; must not matter
+    p.other.igp_cost = 10;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"ebgp-beats-ibgp", DecisionStep::kEbgp, standard,
+                      base(two_hops), base(two_hops)};
+    p.preferred.ebgp = true;
+    p.other.ebgp = false;
+    p.preferred.igp_cost = 90;
+    p.other.igp_cost = 10;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"igp-cost-lower-wins", DecisionStep::kIgpCost, standard,
+                      base(two_hops), base(two_hops)};
+    p.preferred.igp_cost = 3;
+    p.other.igp_cost = 10;
+    p.preferred.neighbor_router_id = 9;  // loser wins router-id tie-break
+    p.other.neighbor_router_id = 4;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"route-age-oldest-wins", DecisionStep::kRouteAge,
+                      with_age, base(two_hops), base(two_hops)};
+    p.preferred.established_at = 2;
+    p.other.established_at = 9;
+    p.preferred.neighbor_router_id = 9;
+    p.other.neighbor_router_id = 4;
+    pairs.push_back(p);
+  }
+  {
+    AdversarialPair p{"router-id-lower-wins", DecisionStep::kRouterId,
+                      standard, base(two_hops), base(two_hops)};
+    p.preferred.neighbor_router_id = 4;
+    p.other.neighbor_router_id = 9;
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+}  // namespace re::check

@@ -1,0 +1,117 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace re::check {
+namespace {
+
+bool check(const ShrinkOracle& oracle, const Scenario& candidate,
+           ShrinkStats* stats) {
+  if (stats != nullptr) ++stats->oracle_runs;
+  return oracle(candidate);
+}
+
+}  // namespace
+
+Scenario shrink(const Scenario& input, const ShrinkOracle& still_fails,
+                ShrinkStats* stats) {
+  if (!check(still_fails, input, stats)) return input;
+  Scenario current = input;
+
+  // Phase 1: chunk removal, largest chunks first. Each chunk size loops
+  // to a fixpoint before halving, so a removal that unlocks another at
+  // the same granularity is found without restarting from the top.
+  for (std::size_t chunk = std::max<std::size_t>(current.ops.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (std::size_t i = 0; i + chunk <= current.ops.size();) {
+        Scenario candidate = current;
+        candidate.ops.erase(candidate.ops.begin() + static_cast<long>(i),
+                            candidate.ops.begin() + static_cast<long>(i + chunk));
+        if (check(still_fails, candidate, stats)) {
+          current = std::move(candidate);
+          removed = true;  // retry the same index: the next chunk slid in
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: operand simplification — zero each surviving op's operands
+  // (all pools index by modulo, so 0 is always the simplest valid
+  // operand). Looped to a fixpoint like phase 1.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < current.ops.size(); ++i) {
+      for (std::uint32_t ScenarioOp::*field :
+           {&ScenarioOp::a, &ScenarioOp::b, &ScenarioOp::c}) {
+        if (current.ops[i].*field == 0) continue;
+        Scenario candidate = current;
+        candidate.ops[i].*field = 0;
+        if (check(still_fails, candidate, stats)) {
+          current = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->ops_removed = input.ops.size() - current.ops.size();
+  }
+  return current;
+}
+
+Scenario shrink_to_violation(const Scenario& input,
+                             const std::string& invariant,
+                             const CheckOptions& options,
+                             ShrinkStats* stats) {
+  const ShrinkOracle oracle = [&](const Scenario& candidate) {
+    const ScenarioResult result = run_scenario(candidate, options);
+    return result.violation.has_value() &&
+           result.violation->invariant == invariant;
+  };
+  return shrink(input, oracle, stats);
+}
+
+std::string regression_skeleton(const Scenario& scenario,
+                                const std::string& invariant) {
+  std::string out;
+  out += "// Shrunk re_check reproducer: violates \"" + invariant + "\".\n";
+  out += "TEST(ReCheckRegression, Seed" + std::to_string(scenario.seed) +
+         ") {\n";
+  out += "  check::Scenario scenario;\n";
+  out += "  scenario.seed = " + std::to_string(scenario.seed) + "ull;\n";
+  out += "  scenario.ops = {\n";
+  for (const ScenarioOp& op : scenario.ops) {
+    out += "      {check::OpKind::k";
+    // CamelCase the kind from its display name ("fail-session" ->
+    // FailSession) so the emitted code compiles against OpKind.
+    bool upper = true;
+    for (const char* c = to_string(op.kind); *c != '\0'; ++c) {
+      if (*c == '-') {
+        upper = true;
+        continue;
+      }
+      out += upper ? static_cast<char>(std::toupper(*c)) : *c;
+      upper = false;
+    }
+    out += ", " + std::to_string(op.a) + ", " + std::to_string(op.b) + ", " +
+           std::to_string(op.c) + "},\n";
+  }
+  out += "  };\n";
+  out += "  const auto result = check::run_scenario(scenario);\n";
+  out += "  ASSERT_FALSE(result.violation.has_value())\n";
+  out += "      << result.violation->invariant << \": \"\n";
+  out += "      << result.violation->detail;\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace re::check

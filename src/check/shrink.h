@@ -1,0 +1,49 @@
+// Greedy trace shrinking for re_check: minimizes a violating scenario to
+// a small reproducer while preserving the failure, then renders it as a
+// ready-to-paste regression test skeleton.
+//
+// The algorithm is ddmin-flavoured greedy chunk removal: try deleting
+// runs of ops (chunk size n/2 halving down to 1, each size looped to a
+// fixpoint), then zero each surviving op's operands. Every candidate is
+// re-executed through the oracle; a candidate is kept only if it still
+// fails *the same way*. The result is monotone (never longer than the
+// input, never keeps a removable op at the final chunk size) and
+// idempotent (shrinking a shrunk scenario is a no-op) — properties
+// check_test pins.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "check/scenario.h"
+
+namespace re::check {
+
+// Returns true when the candidate scenario still exhibits the failure
+// being minimized. Must be deterministic.
+using ShrinkOracle = std::function<bool(const Scenario&)>;
+
+struct ShrinkStats {
+  std::size_t oracle_runs = 0;   // candidate executions
+  std::size_t ops_removed = 0;   // input size minus output size
+};
+
+// Minimizes `input` against `still_fails`. If the input itself does not
+// satisfy the oracle it is returned unchanged.
+Scenario shrink(const Scenario& input, const ShrinkOracle& still_fails,
+                ShrinkStats* stats = nullptr);
+
+// Convenience oracle: re-runs each candidate through run_scenario and
+// keeps it when it violates the same named invariant.
+Scenario shrink_to_violation(const Scenario& input,
+                             const std::string& invariant,
+                             const CheckOptions& options,
+                             ShrinkStats* stats = nullptr);
+
+// A compilable GTest skeleton reproducing `scenario` (expected to violate
+// `invariant`), for pasting into tests/ as a pinned regression.
+std::string regression_skeleton(const Scenario& scenario,
+                                const std::string& invariant);
+
+}  // namespace re::check

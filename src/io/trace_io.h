@@ -1,0 +1,31 @@
+// Checksummed on-disk format for re_check scenario traces.
+//
+// Layout (little-endian): "RECK" magic, u32 version, u64 seed, u32 op
+// count, ops as (u8 kind, u32 a, u32 b, u32 c), then a trailing u64
+// FNV-1a(+mix64) checksum over everything before it. decode rejects bad
+// magic/version/kind bytes, truncation, and checksum mismatches, so a
+// corrupted trace is reported rather than replayed as a different
+// schedule. Writes go through a temp file + rename (the checkpoint-store
+// idiom): a killed save never leaves a half-written trace behind.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/scenario.h"
+
+namespace re::io {
+
+std::vector<std::uint8_t> encode_trace(const check::Scenario& scenario);
+std::optional<check::Scenario> decode_trace(
+    std::span<const std::uint8_t> bytes);
+
+// File round-trip. save_trace returns false on I/O failure; load_trace
+// returns nullopt on I/O failure or any decode rejection.
+bool save_trace(const std::string& path, const check::Scenario& scenario);
+std::optional<check::Scenario> load_trace(const std::string& path);
+
+}  // namespace re::io

@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <span>
 #include <vector>
 
 #include "bgp/decision.h"
 #include "bgp/path_table.h"
+#include "check/reference_decision.h"
 #include "netbase/rng.h"
 
 namespace re::bgp {
@@ -76,7 +78,7 @@ TEST(Decision, OriginPreferenceOrder) {
   EXPECT_TRUE(better_route(igp, incomplete, config));
 }
 
-TEST(Decision, MedComparedOnlyForSameNeighborAs) {
+TEST(Decision, MedLowerWinsWithinSameNeighborAs) {
   DecisionConfig config;
   Route a = make_route(100, 2, Asn{1});
   a.med = 50;
@@ -84,12 +86,20 @@ TEST(Decision, MedComparedOnlyForSameNeighborAs) {
   b.med = 10;
   b.neighbor_router_id = 9999;  // would lose router-id tie-break
   EXPECT_TRUE(better_route(b, a, config));  // lower MED, same neighbor AS
+  EXPECT_FALSE(better_route(a, b, config));
+}
 
-  // Different first-hop AS: MED ignored, falls through to later steps.
+TEST(Decision, MedIgnoredAcrossDifferentNeighborAs) {
+  DecisionConfig config;
+  Route a = make_route(100, 2, Asn{1});
+  a.med = 50;
+  // Different first-hop AS: MED incomparable, falls through to later
+  // steps no matter how extreme the values are.
   Route c = make_route(100, 2, Asn{2});
   c.med = 500;
   c.neighbor_router_id = 0;  // wins the router-id comparison instead
   EXPECT_TRUE(better_route(c, a, config));
+  EXPECT_FALSE(better_route(a, c, config));
 }
 
 TEST(Decision, MedIgnoredWhenDisabled) {
@@ -211,6 +221,63 @@ TEST(Decision, ToStringCoversAllSteps) {
         DecisionStep::kEbgp, DecisionStep::kIgpCost, DecisionStep::kRouteAge,
         DecisionStep::kRouterId}) {
     EXPECT_NE(to_string(step), "?");
+  }
+}
+
+// ------------------------------------------------------- per-step audit
+//
+// One adversarial pair per RFC 4271 tie-break step, from the shared
+// src/check table: within each pair every earlier attribute is equal, the
+// pair separates exactly at its step, and the loser is rigged to win all
+// *later* steps — so a step that silently falls through, or compares in
+// the wrong direction, fails its own pair and no other.
+
+TEST(DecisionStepAudit, TableCoversEveryStepInDecisionOrder) {
+  PathTable table;
+  const auto pairs = check::adversarial_pairs(table);
+  const DecisionStep expected[] = {
+      DecisionStep::kLocalPref, DecisionStep::kAsPathLength,
+      DecisionStep::kOrigin,    DecisionStep::kMed,
+      DecisionStep::kEbgp,      DecisionStep::kIgpCost,
+      DecisionStep::kRouteAge,  DecisionStep::kRouterId};
+  ASSERT_EQ(pairs.size(), std::size(expected));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].step, expected[i]) << pairs[i].name;
+  }
+}
+
+TEST(DecisionStepAudit, EachStepDecidesItsPair) {
+  PathTable table;
+  for (const auto& pair : check::adversarial_pairs(table)) {
+    SCOPED_TRACE(pair.name);
+    // Pairwise, both argument orders.
+    EXPECT_TRUE(better_route(pair.preferred, pair.other, pair.config));
+    EXPECT_FALSE(better_route(pair.other, pair.preferred, pair.config));
+    // Through selection, both candidate orders, with the deciding step
+    // attributed to exactly the step under audit.
+    const Route forward[] = {pair.preferred, pair.other};
+    DecisionResult result = select_best(forward, pair.config);
+    EXPECT_EQ(result.best_index, 0u);
+    EXPECT_EQ(result.decided_by, pair.step);
+    const Route reversed[] = {pair.other, pair.preferred};
+    result = select_best(reversed, pair.config);
+    EXPECT_EQ(result.best_index, 1u);
+    EXPECT_EQ(result.decided_by, pair.step);
+  }
+}
+
+TEST(DecisionStepAudit, ProductionAgreesWithReferenceOnEveryPair) {
+  PathTable table;
+  for (const auto& pair : check::adversarial_pairs(table)) {
+    SCOPED_TRACE(pair.name);
+    EXPECT_EQ(better_route(pair.preferred, pair.other, pair.config),
+              check::reference_better(pair.preferred, pair.other,
+                                      pair.config));
+    DecisionStep step = DecisionStep::kOnlyRoute;
+    EXPECT_LT(check::reference_compare(pair.preferred, pair.other,
+                                       pair.config, &step),
+              0);
+    EXPECT_EQ(step, pair.step);
   }
 }
 

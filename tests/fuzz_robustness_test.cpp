@@ -3,8 +3,13 @@
 // pairs must round-trip exactly on arbitrary valid values.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 
+#include "bgp/network.h"
+#include "bgp/speaker.h"
+#include "check/invariants.h"
+#include "check/scenario.h"
 #include "io/json.h"
 #include "io/results_io.h"
 #include "io/topology_config.h"
@@ -147,6 +152,82 @@ TEST_P(FuzzSeed, PacketDecodersRejectGarbageQuietly) {
     (void)probing::TcpHeader::decode(bytes);
     (void)probing::UdpHeader::decode(bytes);
   }
+}
+
+// --- Fast-path compositions -----------------------------------------------
+//
+// The engine's fast paths (fork, scoped convergence, session failure) are
+// each digest-gated in isolation; these compositions exercise the
+// interactions: a withdraw mutating a *fork* of a converged world, and a
+// session failing while another prefix's messages are still in flight
+// before a prefix-scoped run.
+
+TEST_P(FuzzSeed, WithdrawAfterForkComposition) {
+  check::WorldSpec spec;
+  const auto network = check::make_world(GetParam(), &spec);
+  const net::Prefix prefix = spec.prefixes[0];
+  const std::uint64_t parent_digest = network->prefix_state_digest(prefix);
+
+  auto snap = network->checkpoint();
+  const auto fork = snap.fork();
+  net::Asn origin;
+  for (const net::Asn asn : fork->asns()) {
+    if (fork->speaker(asn)->originates(prefix)) {
+      origin = asn;
+      break;
+    }
+  }
+  ASSERT_TRUE(origin.valid());
+  fork->withdraw(origin, prefix);
+  fork->run_dirty_to_convergence();
+
+  // The parent must be untouched by the fork's mutation...
+  EXPECT_EQ(network->prefix_state_digest(prefix), parent_digest);
+  // ...and the fork's dirty run must land exactly where a fresh world
+  // that withdrew directly (and converged fully) lands.
+  const auto fresh = check::make_world(GetParam(), nullptr);
+  fresh->withdraw(origin, prefix);
+  fresh->run_to_convergence();
+  EXPECT_EQ(fork->prefix_state_digest(prefix),
+            fresh->prefix_state_digest(prefix));
+
+  check::InvariantSuite suite;
+  const auto violation = suite.check_cheap(*fork, spec.prefixes);
+  EXPECT_FALSE(violation.has_value())
+      << violation->invariant << ": " << violation->detail;
+}
+
+TEST_P(FuzzSeed, FailSessionDuringScopedRunComposition) {
+  check::WorldSpec spec;
+  const auto network = check::make_world(GetParam(), &spec);
+  const net::Prefix scoped_prefix = spec.prefixes[0];
+  const net::Prefix deferred_prefix = spec.prefixes[1];
+
+  // Put a second prefix's messages in flight, stop mid-convergence, then
+  // fail a session for the first prefix and converge only its scope.
+  network->announce(spec.origins[0], deferred_prefix);
+  network->run_until(network->clock().now() + 2);
+  const auto [a, b] = spec.sessions[GetParam() % spec.sessions.size()];
+  network->fail_session(a, b, scoped_prefix);
+
+  auto snap = network->checkpoint();
+  const auto oracle = snap.fork();
+  oracle->run_to_convergence();
+
+  const net::Prefix scope[] = {scoped_prefix};
+  network->run_to_convergence(std::span<const net::Prefix>(scope));
+  EXPECT_EQ(network->prefix_state_digest(scoped_prefix),
+            oracle->prefix_state_digest(scoped_prefix));
+  check::InvariantSuite suite;
+  const auto violation = suite.check_cheap(*network, spec.prefixes);
+  EXPECT_FALSE(violation.has_value())
+      << violation->invariant << ": " << violation->detail;
+
+  // Deferred catch-up: draining the rest must land the in-flight prefix
+  // on the oracle too.
+  network->run_to_convergence();
+  EXPECT_EQ(network->prefix_state_digest(deferred_prefix),
+            oracle->prefix_state_digest(deferred_prefix));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Values(1u, 2u, 3u));
