@@ -303,17 +303,18 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     serial_start)
           .count();
-  timer.record(suffixed("stress_sweep_serial"), serial_wall, 1);
-
   std::uint64_t total_messages = 0;
   for (const TrialResult& r : serial) total_messages += r.messages;
+  runtime::PerfCounters perf;
+  for (const TrialResult& r : serial) perf += r.perf;
+  timer.record(suffixed("stress_sweep_serial"), serial_wall, 1,
+               {{"messages_delivered", static_cast<double>(total_messages)},
+                {"avg_probe_length", perf.avg_probe_length()}});
   std::printf("[stress] serial: %.3fs, %llu messages (%.2fM msg/s)\n",
               serial_wall, static_cast<unsigned long long>(total_messages),
               serial_wall > 0
                   ? static_cast<double>(total_messages) / serial_wall / 1e6
                   : 0.0);
-  runtime::PerfCounters perf;
-  for (const TrialResult& r : serial) perf += r.perf;
   std::printf("[stress] perf: %s\n", perf.summary().c_str());
 
   // ---- round-sharded pass ------------------------------------------------
@@ -334,13 +335,16 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     parallel_start)
           .count();
+  runtime::PerfCounters parallel_perf;
+  for (const TrialResult& r : parallel) parallel_perf += r.perf;
   timer.record(suffixed("stress_sweep_parallel"), parallel_wall,
-               sharded_workers);
+               sharded_workers,
+               {{"shard_balance", parallel_perf.shard_balance()},
+                {"barrier_wait_seconds", parallel_perf.barrier_wait_seconds},
+                {"merge_seconds", parallel_perf.merge_seconds}});
   std::printf("[stress] parallel: %.3fs at %zu workers (speedup %.2fx)\n",
               parallel_wall, sharded_workers,
               parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
-  runtime::PerfCounters parallel_perf;
-  for (const TrialResult& r : parallel) parallel_perf += r.perf;
   std::printf("[stress] parallel perf: %s\n", parallel_perf.summary().c_str());
 
   std::uint64_t serial_digest = 1469598103934665603ull;
@@ -429,8 +433,16 @@ int main() {
     const IncrementalSweepResult incr =
         run_incremental_sweep(base, *meas, background, true);
 
-    timer.record(suffixed("sweep_full_rounds"), full.rounds_wall, 1);
-    timer.record(suffixed("sweep_incremental"), incr.rounds_wall, 1);
+    timer.record(
+        suffixed("sweep_full_rounds"), full.rounds_wall, 1,
+        {{"messages_delivered",
+          static_cast<double>(full.perf.messages_delivered)}});
+    timer.record(
+        suffixed("sweep_incremental"), incr.rounds_wall, 1,
+        {{"messages_delivered",
+          static_cast<double>(incr.perf.messages_delivered)},
+         {"messages_skipped_by_scope",
+          static_cast<double>(incr.perf.messages_skipped_by_scope)}});
     timer.record(suffixed("sweep_incremental_drain"), incr.drain_wall, 1);
 
     const double speedup =
@@ -540,7 +552,11 @@ int main() {
     }
 
     timer.record(suffixed("probe_resolve_legacy"), legacy_wall, 1);
-    timer.record(suffixed("probe_resolve_fib"), fib_wall, 1);
+    timer.record(suffixed("probe_resolve_fib"), fib_wall, 1,
+                 {{"fib_hits", static_cast<double>(fib.hits())},
+                  {"fib_compiles", static_cast<double>(fib.compiles())},
+                  {"fib_invalidations",
+                   static_cast<double>(fib.invalidations())}});
     std::printf(
         "[fib] probe resolve: %zu ASes x %zu reps x 9 rounds: legacy=%.3fs "
         "fib=%.3fs (speedup %.2fx)\n",

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/env.h"
 #include "runtime/perf_counters.h"
 
 namespace re::bench {
@@ -37,11 +40,25 @@ struct TimingRow {
   // inside memory an earlier one had already touched. This is the column
   // to read for per-scenario memory attribution.
   std::size_t peak_rss_delta_kb = 0;
+  // Optional named metrics attached to the row (messages delivered,
+  // speedups, counter snapshots) — insertion order is preserved in the
+  // JSON, and rows without any stay byte-compatible with schema 3 rows
+  // modulo the version field.
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 inline std::string bench_results_path() {
   if (const char* env = std::getenv("RE_BENCH_RESULTS")) return env;
   return "BENCH_results.json";
+}
+
+// Where the obs-registry JSON dump lands: RE_BENCH_METRICS, or a sibling
+// of the results file ("BENCH_metrics.json" next to the default path).
+inline std::string bench_metrics_path() {
+  if (const char* env = std::getenv("RE_BENCH_METRICS")) return env;
+  const std::string results = bench_results_path();
+  if (results == "BENCH_results.json") return "BENCH_metrics.json";
+  return results + ".metrics";
 }
 
 class BenchTimer {
@@ -55,13 +72,14 @@ class BenchTimer {
   ~BenchTimer() { write(); }
 
   void record(const std::string& scenario, double wall_seconds,
-              std::size_t threads = 1) {
+              std::size_t threads = 1,
+              std::vector<std::pair<std::string, double>> metrics = {}) {
     const std::size_t peak_kb = runtime::peak_rss_bytes() / 1024;
     const std::size_t delta_kb =
         peak_kb > last_peak_kb_ ? peak_kb - last_peak_kb_ : 0;
     last_peak_kb_ = peak_kb;
-    rows_.push_back(
-        TimingRow{bench_, scenario, wall_seconds, threads, peak_kb, delta_kb});
+    rows_.push_back(TimingRow{bench_, scenario, wall_seconds, threads,
+                              peak_kb, delta_kb, std::move(metrics)});
   }
 
   // Times fn() and records the scenario; returns fn's result.
@@ -109,7 +127,7 @@ class BenchTimer {
     io::JsonWriter writer;
     writer.begin_object();
     writer.key("schema_version");
-    writer.value(std::uint64_t{3});
+    writer.value(std::uint64_t{4});
     writer.key("scenarios");
     writer.begin_array();
     for (const TimingRow& row : merged) {
@@ -120,6 +138,14 @@ class BenchTimer {
       writer.field("threads", std::uint64_t{row.threads});
       writer.field("peak_rss_kb", std::uint64_t{row.peak_rss_kb});
       writer.field("peak_rss_delta_kb", std::uint64_t{row.peak_rss_delta_kb});
+      if (!row.metrics.empty()) {
+        writer.key("metrics");
+        writer.begin_object();
+        for (const auto& [name, value] : row.metrics) {
+          writer.field(name, value);
+        }
+        writer.end_object();
+      }
       writer.end_object();
     }
     writer.end_array();
@@ -131,6 +157,17 @@ class BenchTimer {
       std::fclose(out);
     } else {
       std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    }
+
+    // The process-wide registry snapshot — every counter/gauge/histogram
+    // the run populated — lands next to the timing rows.
+    const std::string metrics_path = bench_metrics_path();
+    if (std::FILE* out = std::fopen(metrics_path.c_str(), "w")) {
+      const std::string dump = obs::registry().render_json();
+      std::fwrite(dump.data(), 1, dump.size(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", metrics_path.c_str());
     }
   }
 
@@ -179,6 +216,12 @@ class BenchTimer {
           v && v->is_number()) {
         row.peak_rss_delta_kb = static_cast<std::size_t>(v->as_number());
       }
+      if (const auto* v = entry.find("metrics"); v && v->is_object()) {
+        // JsonObject is key-sorted; good enough for carried-over rows.
+        for (const auto& [name, value] : v->as_object()) {
+          if (value.is_number()) row.metrics.emplace_back(name, value.as_number());
+        }
+      }
       if (!row.bench.empty() && !row.scenario.empty()) {
         rows.push_back(std::move(row));
       }
@@ -192,6 +235,10 @@ class BenchTimer {
   // baseline that turns the monotonic VmHWM reading into a per-scenario
   // delta.
   std::size_t last_peak_kb_ = runtime::peak_rss_bytes() / 1024;
+  // Every bench honors RE_TRACE: constructing the timer opens the span
+  // session, and its destruction — after write() in the dtor body —
+  // flushes the Chrome trace. Inert unless RE_TRACE names a file.
+  obs::TraceSession trace_{runtime::env_string("RE_TRACE", "")};
 };
 
 }  // namespace re::bench

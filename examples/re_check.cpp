@@ -12,6 +12,12 @@
 //
 // usage: re_check [--seeds A..B | --seeds N] [--ops N] [--check-every N]
 //                 [--shrink] [--trace-out FILE] [--replay FILE]
+//                 [--trace FILE]
+//
+// --trace FILE (or RE_TRACE=FILE; the flag wins) writes a Chrome
+// trace-event JSON of the fuzzing run's spans (convergence rounds,
+// snapshot round-trips, FIB compiles) — not to be confused with
+// --trace-out, which saves a violating *scenario* for replay.
 //
 // On a violation: the schedule is written as a checksummed trace
 // (--trace-out, default re_check_violation.trace), optionally minimized
@@ -33,6 +39,7 @@
 #include "check/scenario.h"
 #include "check/shrink.h"
 #include "io/trace_io.h"
+#include "obs/trace.h"
 #include "runtime/env.h"
 
 namespace {
@@ -47,13 +54,16 @@ struct Options {
   bool shrink = false;
   std::string trace_out = "re_check_violation.trace";
   std::string replay_path;
+  // Chrome-trace telemetry (RE_TRACE is strict: set-but-blank aborts).
+  std::string span_trace_path = runtime::env_string("RE_TRACE", "");
 };
 
 void usage_and_exit() {
   std::fprintf(stderr,
                "usage: re_check [--seeds A..B | --seeds N] [--ops N]\n"
                "                [--check-every N] [--shrink]\n"
-               "                [--trace-out FILE] [--replay FILE]\n");
+               "                [--trace-out FILE] [--replay FILE]\n"
+               "                [--trace FILE]\n");
   std::exit(2);
 }
 
@@ -97,6 +107,8 @@ Options parse_options(int argc, char** argv) {
       options.trace_out = argv[++i];
     } else if (has_value("--replay")) {
       options.replay_path = argv[++i];
+    } else if (has_value("--trace")) {
+      options.span_trace_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       usage_and_exit();
@@ -151,6 +163,8 @@ int report_violation(const check::Scenario& scenario,
 
 int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv);
+  // Flushes on every exit path via the destructor; inert when no path.
+  obs::TraceSession span_trace(options.span_trace_path);
   check::CheckOptions check_options;
   check_options.check_every_rounds = options.check_every;
 

@@ -8,11 +8,18 @@
 //
 // usage: re_survey [--scale S] [--seed N] [--json FILE] [--max-lines N]
 //                  [--threads N] [--checkpoint DIR] [--resume]
-//                  [--abort-after-round N]
+//                  [--abort-after-round N] [--trace FILE]
 //
 // --threads sets the probing worker count (default: RE_THREADS or the
 // hardware concurrency). The per-prefix probing phase shards across the
 // pool; results are bit-identical for every thread count.
+//
+// --trace FILE (or RE_TRACE=FILE; the flag wins) records every scoped
+// span — baseline convergence, each experiment round, sharded rounds on
+// their worker lanes, FIB compiles, probing — as Chrome trace-event JSON
+// loadable in Perfetto / chrome://tracing. Tracing is telemetry only:
+// result digests are bit-identical with it on or off. A final metrics
+// dump (the obs registry) is printed after the tables.
 //
 // --checkpoint DIR saves the full survey state to DIR after every probing
 // round; a later run with the same flags plus --resume continues from the
@@ -31,7 +38,10 @@
 #include "core/experiment.h"
 #include "core/validator.h"
 #include "io/results_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probing/seeds.h"
+#include "runtime/env.h"
 #include "runtime/thread_pool.h"
 #include "topology/ecosystem.h"
 
@@ -46,6 +56,8 @@ struct Options {
   std::string checkpoint_dir;
   bool resume = false;
   int abort_after_round = -1;
+  // Default from RE_TRACE (strict: set-but-blank aborts); --trace wins.
+  std::string trace_path = re::runtime::env_string("RE_TRACE", "");
 };
 
 Options parse_options(int argc, char** argv) {
@@ -70,11 +82,13 @@ Options parse_options(int argc, char** argv) {
       options.resume = true;
     } else if (has_value("--abort-after-round")) {
       options.abort_after_round = std::atoi(argv[++i]);
+    } else if (has_value("--trace")) {
+      options.trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: re_survey [--scale S] [--seed N] [--json FILE]"
                    " [--max-lines N] [--threads N] [--checkpoint DIR]"
-                   " [--resume] [--abort-after-round N]\n");
+                   " [--resume] [--abort-after-round N] [--trace FILE]\n");
       std::exit(2);
     }
   }
@@ -100,6 +114,11 @@ int main(int argc, char** argv) {
               " (%zu probing threads)\n\n",
               selection.stats.total_prefixes, selection.stats.ases_total,
               selection.stats.responsive, options.threads);
+
+  // Open before the pool so every span from here on — baseline, rounds,
+  // sharded deliveries on the worker lanes — lands in one session. The
+  // destructor flushes on early exits (abort-after-round).
+  obs::TraceSession trace(options.trace_path);
 
   runtime::ThreadPool pool(options.threads);
 
@@ -179,6 +198,16 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::printf("wrote %zu JSON result lines to %s\n", lines,
                 options.json_path.c_str());
+  }
+
+  // The quiescence contract for the flush: both experiments returned, so
+  // every pool task (and the spans it emitted) happened-before this point.
+  if (trace.enabled()) {
+    const obs::FlushStats flushed = trace.finish();
+    std::printf("trace written: %s (%zu events, %zu lanes, %llu dropped)\n\n",
+                trace.path().c_str(), flushed.events, flushed.threads,
+                static_cast<unsigned long long>(flushed.dropped));
+    std::printf("--- metrics ---\n%s", obs::registry().render().c_str());
   }
   return 0;
 }

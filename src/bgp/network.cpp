@@ -6,6 +6,9 @@
 #include <span>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace re::bgp {
 
 namespace {
@@ -414,6 +417,7 @@ ConvergenceStats BgpNetwork::run_until(net::SimTime deadline) {
 ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
                                           bool full, net::SimTime deadline) {
   const auto wall_start = WallClock::now();
+  obs::SpanGuard run_span(full ? "converge.run" : "converge.run_scoped");
   ConvergenceStats stats;
   const std::size_t width = workers();
   touched_speakers_.reset();
@@ -489,10 +493,18 @@ ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
                 return a.seq < b.seq;
               });
     ++stats.perf.rounds;
-    if (width > 1 && round_.size() >= kMinParallelRound) {
-      run_round_parallel(stats, tick);
-    } else {
-      for (const PendingMessage& msg : round_) deliver(msg, stats, tick);
+    // Round-size distribution (p50/p95/p99 in the metrics dump): the
+    // shape that decides whether sharding can ever pay off.
+    static auto& round_messages =
+        obs::registry().histogram("converge.round_messages");
+    round_messages.record(round_.size());
+    {
+      RE_SPAN_ARG("converge.round", "messages", round_.size());
+      if (width > 1 && round_.size() >= kMinParallelRound) {
+        run_round_parallel(stats, tick);
+      } else {
+        for (const PendingMessage& msg : round_) deliver(msg, stats, tick);
+      }
     }
     // Channels drained at this tick may have fresh emissions; their new
     // heads re-enter the heap here. (enqueue also pushes heads, so some
@@ -545,6 +557,10 @@ ConvergenceStats BgpNetwork::run_channels(std::span<const std::uint32_t> scope,
   reported_lookups_ = lookups;
   reported_probes_ = probes;
   stats.perf.wall_seconds = seconds_since(wall_start);
+  run_span.set_arg("messages", stats.messages_delivered);
+  // Fold this run's snapshot into the process-wide registry; telemetry
+  // only, the simulation never reads it back.
+  runtime::publish_perf_metrics(stats.perf);
   return stats;
 }
 
@@ -646,6 +662,9 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats,
   const auto phase_start = WallClock::now();
   pool()->parallel_for(num_shards, [&](std::size_t s) {
     const auto busy_start = WallClock::now();
+    // One span per shard, emitted from whichever pool thread ran it —
+    // this is what draws the worker lanes in the exported trace.
+    RE_SPAN_ARG("converge.shard", "messages", shard_load[s]);
     WorkerState& ws = worker_states_[s];
     const auto [shard_begin, shard_end] = shard_ranges_[s];
     for (std::uint32_t gi = shard_begin; gi < shard_end; ++gi) {
@@ -671,6 +690,7 @@ void BgpNetwork::run_round_parallel(ConvergenceStats& stats,
   // delivery times, seqs, collector log records and suppression state all
   // materialize in that same order.
   const auto merge_start = WallClock::now();
+  RE_SPAN_ARG("converge.merge", "messages", n);
   for (std::size_t i = 0; i < n; ++i) {
     const PendingMessage& msg = round_[i];
     MessageEffects& eff = effects_[i];

@@ -19,10 +19,12 @@
 
 #include "bgp/network.h"
 #include "netbase/binio.h"
+#include "obs/trace.h"
 
 namespace re::bgp {
 
 BgpNetwork::Snapshot BgpNetwork::checkpoint() {
+  RE_SPAN("snapshot.checkpoint");
   Snapshot snap;
   snap.seed = seed_;
   snap.now = clock_.now();
@@ -59,6 +61,7 @@ BgpNetwork::Snapshot BgpNetwork::checkpoint() {
 }
 
 void BgpNetwork::restore(const Snapshot& snap) {
+  RE_SPAN("snapshot.restore");
   seed_ = snap.seed;
   clock_ = net::SimClock(snap.now);
   paths_ = PathTable(snap.paths);
@@ -217,6 +220,7 @@ std::uint64_t BgpNetwork::prefix_state_digest(const net::Prefix& prefix) const {
 }
 
 std::unique_ptr<BgpNetwork> BgpNetwork::Snapshot::fork() const {
+  RE_SPAN("snapshot.fork");
   auto network = std::make_unique<BgpNetwork>(seed);
   network->restore(*this);
   return network;

@@ -8,6 +8,7 @@
 
 #include "dataplane/fib.h"
 #include "dataplane/return_path.h"
+#include "obs/trace.h"
 #include "runtime/env.h"
 #include "netbase/binio.h"
 #include "netbase/rng.h"
@@ -64,6 +65,7 @@ ExperimentResult ExperimentController::make_result_header() const {
 }
 
 ExperimentController::Setup ExperimentController::make_baseline() {
+  RE_SPAN("experiment.baseline");
   Setup setup;
   setup.result = make_result_header();
   ExperimentResult& result = setup.result;
@@ -239,6 +241,9 @@ ExperimentResult ExperimentController::run_rounds(Setup setup,
 
   for (std::size_t round = first_round; round < config_.schedule.size();
        ++round) {
+    // One span per schedule entry: the nine-round sweep is the unit the
+    // paper's timeline is drawn in, so it is the top-level trace shape.
+    RE_SPAN_ARG("experiment.round", "round", round);
     const PrependConfig& cfg = config_.schedule[round];
     RoundWindow window;
     window.round = static_cast<int>(round);

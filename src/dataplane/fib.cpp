@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/trace.h"
+
 namespace re::dataplane {
 
 namespace {
@@ -30,6 +32,7 @@ bool CatchmentFib::refresh() {
 }
 
 void CatchmentFib::compile() {
+  RE_SPAN_ARG("fib.compile", "speakers", network_.speaker_count());
   const std::size_t n = network_.speaker_count();
   next_.assign(n, kNoNext);
   asn_.resize(n);

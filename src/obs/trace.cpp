@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace re::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// One thread's event ring. Owner-write-only after registration: the
+// owning thread is the only writer of `ring` and `pushed`; the flush
+// thread reads them only under the quiescence contract documented in
+// trace.h (all emitters joined or past a synchronising barrier).
+struct TraceBuffer {
+  std::vector<TraceEvent> ring;
+  std::uint64_t pushed = 0;
+  std::string thread_name;
+  std::size_t lane = 0;  // stable tid in the exported trace
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  // Leaked-on-exit stable storage: a thread that exits leaves its ring
+  // behind so a later flush still sees its events.
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::size_t capacity = 65536;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* instance = new BufferRegistry();
+  return *instance;
+}
+
+thread_local TraceBuffer* t_buffer = nullptr;
+
+TraceBuffer& this_thread_buffer() {
+  if (t_buffer == nullptr) {
+    auto& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto buffer = std::make_unique<TraceBuffer>();
+    buffer->ring.resize(reg.capacity);
+    buffer->lane = reg.buffers.size();
+    t_buffer = buffer.get();
+    reg.buffers.push_back(std::move(buffer));
+  }
+  return *t_buffer;
+}
+
+std::atomic<std::uint64_t> g_zero_ns{0};
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() noexcept {
+  return steady_ns() - g_zero_ns.load(std::memory_order_relaxed);
+}
+
+void trace_emit(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, const char* arg_name,
+                std::uint64_t arg) noexcept {
+  if (!trace_enabled()) return;  // session may have finished mid-span
+  TraceBuffer& buffer = this_thread_buffer();
+  TraceEvent& slot =
+      buffer.ring[static_cast<std::size_t>(buffer.pushed %
+                                           buffer.ring.size())];
+  slot.name = name;
+  slot.arg_name = arg_name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.arg = arg;
+  ++buffer.pushed;
+}
+
+void set_thread_name(const std::string& name) {
+  this_thread_buffer().thread_name = name;
+}
+
+std::uint64_t trace_thread_pushed() noexcept {
+  return t_buffer == nullptr ? 0 : t_buffer->pushed;
+}
+
+void trace_set_buffer_capacity(std::size_t events) {
+  auto& reg = buffer_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.capacity = events == 0 ? 1 : events;
+}
+
+TraceSession::TraceSession(const std::string& path) : path_(path) {
+  if (path_.empty()) {
+    finished_ = true;  // inert: finish() is a no-op
+    return;
+  }
+  // Fail now, not after the run: an unwritable trace path wastes the
+  // whole experiment if discovered at flush time.
+  std::FILE* probe = std::fopen(path_.c_str(), "w");
+  if (probe == nullptr) {
+    std::fprintf(stderr,
+                 "error: cannot open trace file \"%s\" for writing\n",
+                 path_.c_str());
+    std::exit(2);
+  }
+  std::fclose(probe);
+  auto& reg = buffer_registry();
+  {
+    // Start from clean rings so a second session in one process does
+    // not replay the first session's events.
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& buffer : reg.buffers) buffer->pushed = 0;
+  }
+  g_zero_ns.store(steady_ns(), std::memory_order_relaxed);
+  enabled_ = true;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  if (this_thread_buffer().thread_name.empty()) set_thread_name("main");
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+FlushStats TraceSession::finish() {
+  if (finished_) return stats_;
+  finished_ = true;
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+
+  struct Lane {
+    std::size_t tid;
+    const std::string* name;
+  };
+  struct Merged {
+    TraceEvent event;
+    std::size_t tid;
+  };
+  std::vector<Lane> lanes;
+  std::vector<Merged> merged;
+  auto& reg = buffer_registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& buffer : reg.buffers) {
+      const std::uint64_t cap = buffer->ring.size();
+      const std::uint64_t kept = std::min<std::uint64_t>(buffer->pushed, cap);
+      if (buffer->pushed > cap) stats_.dropped += buffer->pushed - cap;
+      if (kept == 0) continue;
+      lanes.push_back(Lane{buffer->lane, &buffer->thread_name});
+      // Oldest surviving event first (the ring overwrites in place).
+      const std::uint64_t begin = buffer->pushed - kept;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        merged.push_back(
+            Merged{buffer->ring[static_cast<std::size_t>((begin + i) % cap)],
+                   buffer->lane});
+      }
+      buffer->pushed = 0;
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Merged& a, const Merged& b) {
+                     return a.event.start_ns < b.event.start_ns;
+                   });
+  stats_.events = merged.size();
+  stats_.threads = lanes.size();
+
+  std::FILE* out = std::fopen(path_.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr,
+                 "error: cannot open trace file \"%s\" for writing\n",
+                 path_.c_str());
+    std::exit(2);
+  }
+  std::string text;
+  text.reserve(128 + merged.size() * 96);
+  text += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[192];
+  for (const Lane& lane : lanes) {
+    std::string name_json;
+    if (lane.name->empty()) {
+      name_json = "thread-" + std::to_string(lane.tid);
+    } else {
+      append_json_escaped(name_json, *lane.name);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", lane.tid, name_json.c_str());
+    first = false;
+    text += buf;
+  }
+  for (const Merged& m : merged) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"ph\":\"X\",\"pid\":0,\"tid\":%zu,\"name\":\"%s\","
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  first ? "" : ",", m.tid, m.event.name,
+                  static_cast<double>(m.event.start_ns) / 1000.0,
+                  static_cast<double>(m.event.dur_ns) / 1000.0);
+    first = false;
+    text += buf;
+    if (m.event.arg_name != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"%s\":%" PRIu64 "}",
+                    m.event.arg_name, m.event.arg);
+      text += buf;
+    }
+    text += "}";
+  }
+  text += "\n]}\n";
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return stats_;
+}
+
+}  // namespace re::obs

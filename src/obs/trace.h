@@ -1,0 +1,154 @@
+// Scoped tracing spans with Chrome trace-event export.
+//
+// `RE_SPAN("converge.round")` opens an RAII span; its wall-clock start
+// and duration land in a per-thread ring buffer when the span closes.
+// A TraceSession (opened from --trace FILE or RE_TRACE) merges every
+// thread's ring at flush into one Chrome trace-event JSON file that
+// chrome://tracing and Perfetto load directly, with one lane per thread
+// (named via set_thread_name — the runtime pool names its workers).
+//
+// Determinism rules (see DESIGN.md §5h):
+//   - Spans only *read* wall clocks and only *write* telemetry buffers.
+//     Nothing in the simulation may branch on anything recorded here,
+//     so every bit-identity gate holds with tracing on or off.
+//   - The hot path when disabled is a single relaxed atomic load,
+//     inlined from this header; no time syscalls, no stores.
+//   - Ring buffers are owner-thread-write-only (no locks, no sharing).
+//     Flush requires quiescence: every emitting thread must have joined
+//     or passed a synchronising barrier (the pool's parallel_for return
+//     is one) before finish() reads the rings.
+//
+// When a ring wraps, the oldest events are overwritten and counted as
+// dropped — a full buffer degrades the trace, never the run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace re::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+// One closed span (or counter event) in a thread's ring.
+struct TraceEvent {
+  const char* name = nullptr;      // static-storage string
+  const char* arg_name = nullptr;  // optional single integer argument
+  std::uint64_t start_ns = 0;      // since session zero
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;
+};
+
+// True while a TraceSession is live. The one check every span pays.
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Nanoseconds of steady clock since the session's zero point.
+std::uint64_t trace_now_ns() noexcept;
+
+// Appends a closed event to the calling thread's ring (registering the
+// thread on first use). No-op when tracing is disabled.
+void trace_emit(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns, const char* arg_name,
+                std::uint64_t arg) noexcept;
+
+// Names the calling thread's lane in the exported trace ("main",
+// "pool-worker-3"). Safe to call with tracing disabled; the name sticks
+// for any session flushed while the thread's ring is registered.
+void set_thread_name(const std::string& name);
+
+// RAII span. Arms only if tracing is enabled at open; emits at close.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) noexcept : name_(name) {
+    if (trace_enabled()) {
+      armed_ = true;
+      start_ns_ = trace_now_ns();
+    }
+  }
+  SpanGuard(const char* name, const char* arg_name,
+            std::uint64_t arg) noexcept
+      : name_(name), arg_name_(arg_name), arg_(arg) {
+    if (trace_enabled()) {
+      armed_ = true;
+      start_ns_ = trace_now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (armed_) {
+      trace_emit(name_, start_ns_, trace_now_ns() - start_ns_, arg_name_,
+                 arg_);
+    }
+  }
+  // Sets/overrides the argument after construction (for values only
+  // known at scope exit, e.g. messages delivered this round).
+  void set_arg(const char* arg_name, std::uint64_t arg) noexcept {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+#define RE_OBS_CONCAT_INNER(a, b) a##b
+#define RE_OBS_CONCAT(a, b) RE_OBS_CONCAT_INNER(a, b)
+// Scoped span covering the rest of the enclosing block.
+#define RE_SPAN(name) \
+  ::re::obs::SpanGuard RE_OBS_CONCAT(re_span_, __LINE__)(name)
+// Same, with one integer argument shown in the trace viewer.
+#define RE_SPAN_ARG(name, arg_name, arg)                            \
+  ::re::obs::SpanGuard RE_OBS_CONCAT(re_span_, __LINE__)(name,      \
+                                                         arg_name, \
+                                                         arg)
+
+struct FlushStats {
+  std::size_t events = 0;   // complete events written
+  std::size_t threads = 0;  // lanes that emitted at least one event
+  std::uint64_t dropped = 0;  // overwritten by ring wraparound
+};
+
+// One tracing session bound to an output file. Constructing with a
+// non-empty path enables tracing process-wide and zeroes the span
+// clock; finish() (or the destructor) disables tracing, merges every
+// thread's ring, and writes Chrome trace-event JSON. An empty path
+// makes an inert session, so callers can construct unconditionally.
+// An unwritable path is a hard error (exit 2): a user who asked for a
+// trace should never silently not get one.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path);
+  ~TraceSession();
+
+  bool enabled() const noexcept { return enabled_ && !finished_; }
+  const std::string& path() const noexcept { return path_; }
+
+  // Idempotent; returns what the (first) flush wrote.
+  FlushStats finish();
+
+ private:
+  std::string path_;
+  bool enabled_ = false;
+  bool finished_ = false;
+  FlushStats stats_;
+};
+
+// --- test hooks ---------------------------------------------------------
+// Ring capacity (events per thread) for buffers registered *after* the
+// call; existing rings keep their size. Default 65536.
+void trace_set_buffer_capacity(std::size_t events);
+// Events currently buffered (min(pushed, capacity)) and total pushed for
+// the calling thread's ring — lets tests observe wraparound directly.
+std::uint64_t trace_thread_pushed() noexcept;
+
+}  // namespace re::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "runtime/rng_streams.h"
 
 namespace re::probing {
@@ -47,6 +48,7 @@ RoundResult Prober::run_round(const std::vector<PrefixSeeds>& seeds,
                               const TargetResolver& resolver,
                               net::SimClock& clock,
                               runtime::ThreadPool* pool) {
+  RE_SPAN_ARG("probe.round", "prefixes", seeds.size());
   RoundResult result;
   result.started_at = clock.now();
   result.prefixes.resize(seeds.size());
@@ -57,6 +59,9 @@ RoundResult Prober::run_round(const std::vector<PrefixSeeds>& seeds,
   // across workers.
   const std::uint64_t round_seed = rng_.next();
   const auto probe_one = [&](std::size_t i) {
+    // Emitted from the pool thread that took the prefix: probing work
+    // shows up on the worker lanes alongside convergence shards.
+    RE_SPAN_ARG("probe.prefix", "targets", seeds[i].targets.size());
     result.prefixes[i] = probe_prefix(
         seeds[i], resolver, runtime::derive_stream_seed(round_seed, i));
   };

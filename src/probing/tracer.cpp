@@ -1,5 +1,7 @@
 #include "probing/tracer.h"
 
+#include "obs/trace.h"
+
 namespace re::probing {
 
 std::string TraceResult::to_string() const {
@@ -20,6 +22,7 @@ bool Tracer::is_origin(net::Asn asn) const {
 }
 
 TraceResult Tracer::trace(net::Asn source, int max_ttl) const {
+  RE_SPAN("probe.trace");
   TraceResult result;
   result.source = source;
   result.destination = destination_;

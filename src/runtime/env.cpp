@@ -103,6 +103,20 @@ bool env_flag(const char* name, bool fallback) {
   return *parsed;
 }
 
+std::optional<std::string> parse_env_string(std::string_view text) {
+  text = trimmed(text);
+  if (text.empty()) return std::nullopt;
+  return std::string(text);
+}
+
+std::string env_string(const char* name, std::string_view fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return std::string(fallback);
+  const auto parsed = parse_env_string(env);
+  if (!parsed) die(name, env, "a non-empty value");
+  return *parsed;
+}
+
 double env_positive_double(const char* name, double fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace re::runtime {
@@ -57,5 +58,18 @@ std::optional<bool> parse_flag(std::string_view text) noexcept;
 // empty -> fallback; set but malformed -> diagnostic on stderr and
 // exit(2). Used by escape hatches like RE_DATAPLANE_FIB=off.
 bool env_flag(const char* name, bool fallback);
+
+// Strict parse of a free-form string knob (a path, a name): surrounding
+// whitespace is trimmed, and a value that trims to nothing is rejected.
+// nullopt on empty — a knob set to "" is a typo'd export, not a request.
+std::optional<std::string> parse_env_string(std::string_view text);
+
+// Reads env var `name` as a non-empty string (see parse_env_string).
+// Unset -> fallback; set but blank -> diagnostic on stderr and exit(2).
+// Note the asymmetry with the numeric env_* readers, which treat
+// set-but-empty as unset: for value knobs an empty string has an obvious
+// meaning (use the default), but for RE_TRACE="" the user plainly asked
+// for a trace and named no file, so guessing would lose the trace.
+std::string env_string(const char* name, std::string_view fallback);
 
 }  // namespace re::runtime

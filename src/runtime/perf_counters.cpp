@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace re::runtime {
 
 double PerfCounters::messages_per_sec() const noexcept {
@@ -104,6 +106,65 @@ std::string PerfCounters::summary() const {
     out += buffer;
   }
   return out;
+}
+
+void publish_perf_metrics(const PerfCounters& perf) {
+  auto& reg = obs::registry();
+  // References resolve once per process; after that each publish is a
+  // handful of relaxed atomics.
+  static auto& messages = reg.counter("perf.messages_delivered");
+  static auto& lookups = reg.counter("perf.map_lookups");
+  static auto& probes = reg.counter("perf.map_probes");
+  static auto& wall = reg.counter("perf.wall_us");
+  static auto& rounds = reg.counter("perf.rounds");
+  static auto& parallel_rounds = reg.counter("perf.parallel_rounds");
+  static auto& sharded = reg.counter("perf.sharded_messages");
+  static auto& shard_peak = reg.counter("perf.shard_peak_messages");
+  static auto& barrier_us = reg.counter("perf.barrier_wait_us");
+  static auto& merge_us = reg.counter("perf.merge_us");
+  static auto& dirty = reg.counter("perf.prefixes_dirty");
+  static auto& touched = reg.counter("perf.speakers_touched");
+  static auto& skipped = reg.counter("perf.messages_skipped_by_scope");
+  static auto& fib_compiles = reg.counter("perf.fib_compiles");
+  static auto& fib_hits = reg.counter("perf.fib_hits");
+  static auto& fib_invalidations = reg.counter("perf.fib_invalidations");
+  static auto& probe_resolve_us = reg.counter("perf.probe_resolve_us");
+  static auto& checkpoints = reg.counter("perf.checkpoints");
+  static auto& forks = reg.counter("perf.forks");
+  static auto& interned = reg.gauge("perf.interned_paths");
+  static auto& arena = reg.gauge("perf.arena_bytes");
+  static auto& workers = reg.gauge("perf.intra_workers");
+  static auto& arena_shared = reg.gauge("perf.arena_shared_bytes");
+  static auto& run_messages = reg.histogram("perf.run_messages");
+
+  const auto us = [](double seconds) {
+    return seconds <= 0.0 ? std::uint64_t{0}
+                          : static_cast<std::uint64_t>(seconds * 1e6);
+  };
+  messages.add(perf.messages_delivered);
+  lookups.add(perf.map_lookups);
+  probes.add(perf.map_probes);
+  wall.add(us(perf.wall_seconds));
+  rounds.add(perf.rounds);
+  parallel_rounds.add(perf.parallel_rounds);
+  sharded.add(perf.sharded_messages);
+  shard_peak.add(perf.shard_peak_messages);
+  barrier_us.add(us(perf.barrier_wait_seconds));
+  merge_us.add(us(perf.merge_seconds));
+  dirty.add(perf.prefixes_dirty);
+  touched.add(perf.speakers_touched);
+  skipped.add(perf.messages_skipped_by_scope);
+  fib_compiles.add(perf.fib_compiles);
+  fib_hits.add(perf.fib_hits);
+  fib_invalidations.add(perf.fib_invalidations);
+  probe_resolve_us.add(us(perf.probe_resolve_seconds));
+  checkpoints.add(perf.checkpoints);
+  forks.add(perf.forks);
+  interned.set_max(static_cast<double>(perf.interned_paths));
+  arena.set_max(static_cast<double>(perf.arena_bytes));
+  workers.set_max(static_cast<double>(perf.intra_workers));
+  arena_shared.set_max(static_cast<double>(perf.arena_shared_bytes));
+  run_messages.record(perf.messages_delivered);
 }
 
 std::size_t peak_rss_bytes() {

@@ -79,4 +79,13 @@ struct PerfCounters {
 // 0 where the platform does not expose it.
 std::size_t peak_rss_bytes();
 
+// Folds one per-run PerfCounters snapshot into the process-wide
+// obs::registry() under "perf.*" names — the compatibility view that
+// keeps the flat struct (and every bench's summary() line) as the
+// source of truth while the registry aggregates across runs. Delta
+// fields add into counters; instance gauges (interned_paths,
+// arena_bytes, intra_workers, arena_shared_bytes) keep the maximum,
+// matching operator+= exactly.
+void publish_perf_metrics(const PerfCounters& perf);
+
 }  // namespace re::runtime

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "obs/trace.h"
 #include "runtime/env.h"
 
 namespace re::runtime {
@@ -19,7 +21,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads <= 1) return;  // inline-only pool
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Registers this thread's trace lane up front so exported traces
+      // show pool workers by index even if tracing starts mid-run.
+      obs::set_thread_name("pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
